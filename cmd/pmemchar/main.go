@@ -1,0 +1,63 @@
+// Command pmemchar prints the calibrated Optane device
+// characterization curves — the §II-B numbers the scheduling
+// trade-offs rest on: bandwidth vs concurrency by operation kind and
+// locality, the remote-write collapse at both pressure extremes, the
+// read/write mixing penalty, and the idle latencies.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"pmemsched"
+	"pmemsched/internal/pmem"
+	"pmemsched/internal/units"
+)
+
+func main() {
+	pressure := flag.Float64("pressure", 1.0, "sustained-write-pressure for the remote curves (0..1)")
+	flag.Parse()
+
+	m := pmemsched.Gen1Optane()
+	fmt.Println("Gen-1 Optane DC PMEM calibration (interleaved, App-Direct)")
+	fmt.Printf("  peak local read  %s (scales to %.0f ops)\n", units.FormatRate(m.ReadMax), m.ReadScaleOps)
+	fmt.Printf("  peak local write %s (saturates at %.0f ops)\n", units.FormatRate(m.WriteMax), m.WriteScaleOps)
+	fmt.Printf("  idle latency     read %s / write %s (remote %s / %s)\n",
+		units.FormatSeconds(m.ReadLatencyLocal), units.FormatSeconds(m.WriteLatencyLocal),
+		units.FormatSeconds(m.ReadLatencyRemote), units.FormatSeconds(m.WriteLatencyRemote))
+	fmt.Printf("  interleave       %d DIMMs x %s chunks (%s stripes)\n\n",
+		m.DIMMs, units.FormatBytes(m.ChunkBytes), units.FormatBytes(m.StripeBytes))
+
+	fmt.Printf("aggregate bandwidth vs concurrency (pressure %.2f):\n", *pressure)
+	fmt.Printf("%6s  %12s  %12s  %12s  %12s  %10s\n",
+		"ops", "local read", "remote read", "local write", "remote write", "rw penalty")
+	for _, n := range []int{1, 2, 4, 8, 12, 16, 17, 20, 24} {
+		w := float64(n)
+		lr := m.Caps(pmem.Load{LocalReads: w, RawReads: n}, *pressure).Read
+		rr := m.Caps(pmem.Load{RemoteReads: w, RawReads: n}, *pressure).Read
+		lw := m.Caps(pmem.Load{LocalWrites: w, RawWrites: n}, *pressure).Write
+		rw := m.Caps(pmem.Load{RemoteWrites: w, RawWrites: n}, *pressure).Write
+		fmt.Printf("%6d  %12s  %12s  %12s  %12s  %9.2fx\n",
+			n, units.FormatRate(lr), units.FormatRate(rr),
+			units.FormatRate(lw), units.FormatRate(rw),
+			m.RemoteWritePenalty(w, *pressure))
+	}
+
+	fmt.Println("\nread/write mixing (equal effective mix, pressure-scaled):")
+	fmt.Printf("%12s  %14s  %14s\n", "raw streams", "read cap", "write cap")
+	for _, n := range []int{8, 16, 24, 32, 48} {
+		half := float64(n) / 2
+		l := pmem.Load{LocalReads: half, LocalWrites: half, RawReads: n / 2, RawWrites: n / 2}
+		c := m.Caps(l, *pressure)
+		fmt.Printf("%12d  %14s  %14s\n", n, units.FormatRate(c.Read), units.FormatRate(c.Write))
+	}
+
+	fmt.Println("\nsmall-access (sub-stripe) DIMM contention, pure writes:")
+	fmt.Printf("%12s  %14s  %14s\n", "raw streams", "large objects", "small objects")
+	for _, n := range []int{4, 8, 16, 24} {
+		w := float64(n)
+		big := m.Caps(pmem.Load{LocalWrites: w, RawWrites: n}, 0).Write
+		small := m.Caps(pmem.Load{LocalWrites: w, SmallWrites: w, RawWrites: n, RawSmall: n}, 0).Write
+		fmt.Printf("%12d  %14s  %14s\n", n, units.FormatRate(big), units.FormatRate(small))
+	}
+}

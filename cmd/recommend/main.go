@@ -1,0 +1,115 @@
+// Command recommend classifies a workflow (standalone profiling runs
+// on the simulated testbed, exactly the paper's §IV-A measurement) and
+// applies the Table II rules, optionally verifying the choice against
+// the exhaustive oracle.
+//
+// Usage:
+//
+//	recommend -workflow miniamr+matrixmult -ranks 8
+//	recommend -workflow gtc+readonly -ranks 24 -verify
+//	recommend -suite -verify       # the full 18-workload Table II check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pmemsched"
+	"pmemsched/internal/units"
+)
+
+func main() {
+	name := flag.String("workflow", "", "workflow name (as in wfrun -list)")
+	specPath := flag.String("spec", "", "JSON workflow spec file (alternative to -workflow)")
+	ranks := flag.Int("ranks", 16, "ranks per component")
+	verify := flag.Bool("verify", false, "run the oracle and report regret")
+	suite := flag.Bool("suite", false, "run the whole 18-workload suite")
+	flag.Parse()
+
+	env := pmemsched.DefaultEnv()
+	if *suite {
+		runSuite(env, *verify)
+		return
+	}
+
+	var wf pmemsched.Workflow
+	if *specPath != "" {
+		f, err := os.Open(*specPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "recommend:", err)
+			os.Exit(2)
+		}
+		wf, err = pmemsched.ReadWorkflow(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "recommend:", err)
+			os.Exit(2)
+		}
+		report(wf, env, *verify)
+		return
+	}
+	switch *name {
+	case "micro-64mb":
+		wf = pmemsched.MicroWorkflow(pmemsched.MicroObjectLarge, *ranks)
+	case "micro-2k":
+		wf = pmemsched.MicroWorkflow(pmemsched.MicroObjectSmall, *ranks)
+	case "gtc+readonly":
+		wf = pmemsched.GTCReadOnly(*ranks)
+	case "gtc+matrixmult":
+		wf = pmemsched.GTCMatrixMult(*ranks)
+	case "miniamr+readonly":
+		wf = pmemsched.MiniAMRReadOnly(*ranks)
+	case "miniamr+matrixmult":
+		wf = pmemsched.MiniAMRMatrixMult(*ranks)
+	default:
+		fmt.Fprintf(os.Stderr, "recommend: unknown workflow %q\n", *name)
+		os.Exit(2)
+	}
+
+	report(wf, env, *verify)
+}
+
+func report(wf pmemsched.Workflow, env pmemsched.Env, verify bool) {
+	out, err := pmemsched.AutoSchedule(wf, env, verify)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "recommend:", err)
+		os.Exit(1)
+	}
+	rec := out.Recommendation
+	fmt.Printf("workflow:  %s\n", wf)
+	fmt.Printf("features:  %s\n", rec.Features)
+	fmt.Printf("rule:      Table II row %d (%s)\n", rec.Row.ID, rec.Row.Illustrative)
+	fmt.Printf("recommend: %s\n", rec.Config.Label())
+	fmt.Printf("runtime:   %s\n", units.FormatSeconds(out.Chosen.TotalSeconds))
+	if verify {
+		fmt.Printf("oracle:    %s (%s)\n", out.Oracle.Best.Config.Label(),
+			units.FormatSeconds(out.Oracle.Best.TotalSeconds))
+		fmt.Printf("regret:    %.1f%%\n", out.Regret*100)
+	}
+}
+
+func runSuite(env pmemsched.Env, verify bool) {
+	matched, total := 0, 0
+	for _, wf := range pmemsched.Suite() {
+		out, err := pmemsched.AutoSchedule(wf, env, verify)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "recommend:", err)
+			os.Exit(1)
+		}
+		total++
+		line := fmt.Sprintf("%-28s rule #%-2d -> %-7s", wf.Name,
+			out.Recommendation.Row.ID, out.Recommendation.Config.Label())
+		if verify {
+			ok := out.Recommendation.Config == out.Oracle.Best.Config
+			if ok {
+				matched++
+			}
+			line += fmt.Sprintf("  oracle %-7s regret %5.1f%%", out.Oracle.Best.Config.Label(), out.Regret*100)
+		}
+		fmt.Println(line)
+	}
+	if verify {
+		fmt.Printf("matched oracle: %d/%d\n", matched, total)
+	}
+}

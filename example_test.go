@@ -1,0 +1,56 @@
+package pmemsched_test
+
+import (
+	"fmt"
+
+	"pmemsched"
+)
+
+// ExampleRecommend shows the Table II rule engine on a feature tuple
+// built by hand — the pure-lookup path a scheduler can take when the
+// workflow's characteristics are already known from its launch
+// parameters.
+func ExampleRecommend() {
+	features := pmemsched.Features{
+		SimCompute: 3, // high  (compute-dominated simulation)
+		SimWrite:   1, // low
+		AnaCompute: 0, // nil   (read-only analytics)
+		AnaRead:    3, // high
+		ObjectSize: 1, // large objects
+		Conc:       2, // high concurrency (24 ranks)
+	}
+	rec, err := pmemsched.Recommend(features)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Table II row %d -> %s\n", rec.Row.ID, rec.Config.Label())
+	// Output: Table II row 2 -> S-LocW
+}
+
+// ExampleParseConfig round-trips a configuration label.
+func ExampleParseConfig() {
+	cfg, _ := pmemsched.ParseConfig("p-locr")
+	fmt.Println(cfg.Label(), cfg.Mode, cfg.Placement)
+	// Output: P-LocR parallel remote-write-local-read
+}
+
+// ExampleRun executes one suite workload under one configuration on
+// the simulated testbed.
+func ExampleRun() {
+	wf := pmemsched.GTCReadOnly(8)
+	res, err := pmemsched.Run(wf, pmemsched.SLocW, pmemsched.DefaultEnv())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("serial split: writer then reader, total = writer + reader: %v\n",
+		res.TotalSeconds == res.WriterSplit+res.ReaderSplit)
+	// Output: serial split: writer then reader, total = writer + reader: true
+}
+
+// ExampleTableII shows the rule base is plain data.
+func ExampleTableII() {
+	rows := pmemsched.TableII()
+	fmt.Printf("%d rows; row 1 recommends %s for %s\n",
+		len(rows), rows[0].Config.Label(), rows[0].Illustrative)
+	// Output: 10 rows; row 1 recommends S-LocW for 64MB workflows: Fig 4a,4b,4c
+}

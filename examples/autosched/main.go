@@ -1,0 +1,65 @@
+// Autosched demonstrates the paper's future work made concrete: a
+// scheduler that profiles an unknown workflow's components standalone
+// (measuring the §IV-A I/O indexes), classifies it into Table II's
+// feature space, picks a configuration, and verifies the pick against
+// the exhaustive oracle.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pmemsched"
+)
+
+func main() {
+	env := pmemsched.DefaultEnv()
+
+	// A workflow that appears nowhere in the paper's suite: a custom
+	// simulation with a bimodal snapshot (a few large field arrays plus
+	// many small diagnostic blocks) and a moderately compute-heavy
+	// analytics.
+	sim := pmemsched.Component{
+		Name:                "custom-climate",
+		ComputePerIteration: 0.8,
+		Objects: []pmemsched.ObjectSpec{
+			{Bytes: 96 << 20, CountPerRank: 2},  // two 96 MiB field arrays
+			{Bytes: 8 << 10, CountPerRank: 500}, // five hundred 8 KiB diagnostics
+		},
+	}
+	analytics := pmemsched.AnalyticsKernel{
+		Name:             "feature-tracker",
+		ComputePerObject: 300e-6, // 300 µs of tracking per object
+	}
+	wf := pmemsched.Couple("climate+tracker", sim, analytics, 16, 10)
+
+	// Step 1+2: profile and classify (this is what a scheduler would do
+	// once, from the workflow's launch parameters and a dry run).
+	features, err := pmemsched.Classify(wf, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured features: %s\n", features)
+	fmt.Printf("  sim I/O index %.2f, analytics I/O index %.2f\n",
+		features.SimProfile.IOIndex, features.AnaProfile.IOIndex)
+
+	// Step 3: Table II lookup.
+	rec, err := pmemsched.Recommend(features)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rule: Table II row %d (distance %.0f) -> %s\n",
+		rec.Row.ID, rec.Distance, rec.Config.Label())
+
+	// Step 4: execute and verify against the oracle.
+	out, err := pmemsched.AutoSchedule(wf, env, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scheduled %s: %.2fs\n", out.Recommendation.Config.Label(), out.Chosen.TotalSeconds)
+	fmt.Printf("oracle best %s: %.2fs\n", out.Oracle.Best.Config.Label(), out.Oracle.Best.TotalSeconds)
+	fmt.Printf("regret of the rule-based choice: %.1f%%\n", out.Regret*100)
+	for cfg, norm := range out.Oracle.Normalized() {
+		fmt.Printf("  %-7s %.2fx\n", cfg.Label(), norm)
+	}
+}

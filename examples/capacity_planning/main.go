@@ -1,0 +1,77 @@
+// Capacity planning: use the simulator as a what-if engine — find the
+// smallest rank count that meets an end-to-end deadline for a custom
+// workflow, with the configuration chosen per rank count by the
+// Table II rules, and export the winning run's timeline for the Chrome
+// trace viewer.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"pmemsched"
+)
+
+func main() {
+	env := pmemsched.DefaultEnv()
+
+	// A pipeline that must finish its 10 snapshots within a deadline.
+	const deadlineSeconds = 9.0
+	build := func(ranks int) pmemsched.Workflow {
+		sim := pmemsched.Component{
+			Name:                "spectral-sim",
+			ComputePerIteration: 0.45,
+			Objects: []pmemsched.ObjectSpec{
+				{Bytes: 32 << 20, CountPerRank: 4}, // 128 MiB of field data per rank
+			},
+		}
+		return pmemsched.Couple("spectral+reduce", sim,
+			pmemsched.AnalyticsKernel{Name: "reduce", ComputePerObject: 0.02}, ranks, 10)
+	}
+
+	fmt.Printf("deadline: %.1fs end-to-end\n", deadlineSeconds)
+	var chosenRanks int
+	var chosen pmemsched.Result
+	for _, ranks := range []int{4, 8, 12, 16, 20, 24} {
+		wf := build(ranks)
+		rec, err := pmemsched.RecommendWorkflow(wf, env)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := pmemsched.Run(wf, rec.Config, env)
+		if err != nil {
+			log.Fatal(err)
+		}
+		meets := res.TotalSeconds <= deadlineSeconds
+		fmt.Printf("  %2d ranks: %-7s %6.2fs  meets deadline: %v\n",
+			ranks, rec.Config.Label(), res.TotalSeconds, meets)
+		if meets && chosenRanks == 0 {
+			chosenRanks = ranks
+			chosen = res
+		}
+	}
+	if chosenRanks == 0 {
+		fmt.Println("no rank count meets the deadline on this platform")
+		return
+	}
+	fmt.Printf("\nplan: %d ranks under %s (%.2fs, %.0f%% headroom)\n",
+		chosenRanks, chosen.Config.Label(), chosen.TotalSeconds,
+		(deadlineSeconds/chosen.TotalSeconds-1)*100)
+
+	// Export the planned run's timeline for chrome://tracing.
+	_, tracer, err := pmemsched.RunWithTrace(build(chosenRanks), chosen.Config, env, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create("capacity_plan_trace.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := tracer.WriteChromeTrace(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("timeline: capacity_plan_trace.json (%d events; open in chrome://tracing)\n",
+		len(tracer.Events))
+}

@@ -1,0 +1,64 @@
+// GTC in-situ: the full decision pipeline for a compute-intensive
+// simulation with large checkpoint objects, including the three-way
+// crossover the paper finds for GTC + Read-Only (P-LocR at 8 ranks,
+// S-LocR at 16, S-LocW at 24) and what the analytics swap to
+// MatrixMult does to those choices.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pmemsched"
+)
+
+func main() {
+	env := pmemsched.DefaultEnv()
+
+	fmt.Println("GTC + Read-Only (Fig 6): optimal configuration vs concurrency")
+	for _, ranks := range []int{8, 16, 24} {
+		wf := pmemsched.GTCReadOnly(ranks)
+		dec, err := pmemsched.Oracle(wf, env)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec, err := pmemsched.RecommendWorkflow(wf, env)
+		if err != nil {
+			log.Fatal(err)
+		}
+		agree := "agrees"
+		if rec.Config != dec.Best.Config {
+			agree = "DISAGREES"
+		}
+		fmt.Printf("  %2d ranks: oracle %-7s  Table II row %d %s (%s)\n",
+			ranks, dec.Best.Config.Label(), rec.Row.ID, rec.Config.Label(), agree)
+	}
+
+	// Swapping the analytics kernel while keeping the configuration
+	// tuned for the old one — the paper's §VII warning quantified.
+	fmt.Println("\nanalytics swap at 16 ranks:")
+	ro := pmemsched.GTCReadOnly(16)
+	mm := pmemsched.GTCMatrixMult(16)
+	roDec, err := pmemsched.Oracle(ro, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mmDec, err := pmemsched.Oracle(mm, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	staleCfg := roDec.Best.Config // tuned for read-only analytics
+	fmt.Printf("  %s tuned for %s: best %s\n", ro.Name, ro.Name, staleCfg.Label())
+	fmt.Printf("  after swapping in matrixmult, %s costs %.1f%% over the new best (%s)\n",
+		staleCfg.Label(), mmDec.Regret(staleCfg)*100, mmDec.Best.Config.Label())
+
+	// Device-level view: why the 24-rank case flips to local writes.
+	fmt.Println("\nwriter device time per configuration at 24 ranks:")
+	for _, cfg := range pmemsched.Configs {
+		res, err := pmemsched.Run(pmemsched.GTCReadOnly(24), cfg, env)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-7s writer io %6.2fs  total %6.2fs\n", cfg.Label(), res.Writer.IO, res.TotalSeconds)
+	}
+}

@@ -1,0 +1,54 @@
+// MiniAMR in-situ: sweep concurrency for the miniAMR + analytics
+// workflows and watch the optimal configuration move exactly as the
+// paper's Figs 8 and 9 report — parallel read-local at 8 ranks, serial
+// at 16, serial write-local at 24 — and flip placement when the
+// analytics kernel interleaves compute.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pmemsched"
+)
+
+func main() {
+	env := pmemsched.DefaultEnv()
+
+	families := []struct {
+		name string
+		mk   func(int) pmemsched.Workflow
+	}{
+		{"miniAMR + Read-Only (Fig 8)", pmemsched.MiniAMRReadOnly},
+		{"miniAMR + MatrixMult (Fig 9)", pmemsched.MiniAMRMatrixMult},
+	}
+	for _, fam := range families {
+		fmt.Println(fam.name)
+		for _, ranks := range []int{8, 16, 24} {
+			wf := fam.mk(ranks)
+			dec, err := pmemsched.Oracle(wf, env)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %2d ranks: best %-7s", ranks, dec.Best.Config.Label())
+			for _, r := range dec.Results {
+				fmt.Printf("  %s=%.2fs", r.Config.Label(), r.TotalSeconds)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+
+	// The writer/reader split of a serial run — the paper's split-bar
+	// view, showing where remote placement hurts.
+	wf := pmemsched.MiniAMRReadOnly(24)
+	for _, cfg := range []pmemsched.Config{pmemsched.SLocW, pmemsched.SLocR} {
+		res, err := pmemsched.Run(wf, cfg, env)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s @24: writer %.2fs + reader %.2fs = %.2fs (writer device time %.2fs, software %.2fs)\n",
+			cfg.Label(), res.WriterSplit, res.ReaderSplit, res.TotalSeconds,
+			res.Writer.IO, res.Writer.SW)
+	}
+}

@@ -1,0 +1,3 @@
+module pmemsched
+
+go 1.22

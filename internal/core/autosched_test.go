@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"pmemsched/internal/workloads"
+)
+
+func TestAutoScheduleWithoutVerify(t *testing.T) {
+	out, err := AutoSchedule(workloads.MiniAMRReadOnly(8), DefaultEnv(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Chosen.TotalSeconds <= 0 {
+		t.Fatal("no runtime")
+	}
+	if out.Oracle.Results != nil {
+		t.Fatal("oracle ran without verify")
+	}
+	if out.Regret != 0 {
+		t.Fatal("regret without oracle")
+	}
+	if out.Chosen.Config != out.Recommendation.Config {
+		t.Fatal("ran a different config than recommended")
+	}
+}
+
+func TestAutoScheduleVerifyReportsRegret(t *testing.T) {
+	out, err := AutoSchedule(workloads.GTCMatrixMult(8), DefaultEnv(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Oracle.Results) != 4 {
+		t.Fatalf("%d oracle results", len(out.Oracle.Results))
+	}
+	if out.Regret < 0 {
+		t.Fatalf("negative regret %g", out.Regret)
+	}
+	// Regret is consistent with the oracle's own numbers.
+	want := out.Oracle.Regret(out.Recommendation.Config)
+	if out.Regret != want {
+		t.Fatalf("regret %g != oracle's %g", out.Regret, want)
+	}
+}
+
+func TestOracleNormalization(t *testing.T) {
+	dec, err := Oracle(workloads.MicroWorkflow(workloads.MicroObjectLarge, 8), DefaultEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := dec.Normalized()
+	if len(norm) != 4 {
+		t.Fatalf("%d normalized entries", len(norm))
+	}
+	if norm[dec.Best.Config] != 1 {
+		t.Fatal("best config not 1.0")
+	}
+	for cfg, v := range norm {
+		if v < 1 {
+			t.Errorf("%s normalized %g below 1", cfg, v)
+		}
+		if dec.Regret(cfg) != v-1 {
+			t.Errorf("%s regret inconsistent with normalization", cfg)
+		}
+	}
+	// Unknown config regret is zero by contract.
+	if dec.Regret(Config{Mode: 9, Placement: 9}) != 0 {
+		t.Error("unknown config regret not zero")
+	}
+}
+
+func TestAutoScheduleRejectsInvalid(t *testing.T) {
+	wf := workloads.GTCReadOnly(8)
+	wf.Iterations = 0
+	if _, err := AutoSchedule(wf, DefaultEnv(), false); err == nil {
+		t.Fatal("invalid workflow scheduled")
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+
+	"pmemsched/internal/sim"
+	"pmemsched/internal/units"
+	"pmemsched/internal/workflow"
+)
+
+// SizeClass buckets a workflow's dominant object size the way Table II
+// does ("small" vs "large").
+type SizeClass uint8
+
+const (
+	SmallObjects SizeClass = iota
+	LargeObjects
+)
+
+func (s SizeClass) String() string {
+	if s == SmallObjects {
+		return "small"
+	}
+	return "large"
+}
+
+// LargeObjectBytes is the small/large boundary. The paper's small
+// objects are KB-scale (2 KB, 4.5 KB) and its large ones MB-scale
+// (64 MB, 229 MB); 1 MiB cleanly separates the regimes.
+const LargeObjectBytes = 1 * units.MiB
+
+// ConcClass buckets rank counts into the paper's concurrency levels
+// (§IV-B: 8/16/24 ranks are low/medium/high).
+type ConcClass uint8
+
+const (
+	LowConc ConcClass = iota
+	MediumConc
+	HighConc
+)
+
+func (c ConcClass) String() string {
+	switch c {
+	case LowConc:
+		return "low"
+	case MediumConc:
+		return "medium"
+	default:
+		return "high"
+	}
+}
+
+// ConcClassOf buckets a rank count.
+func ConcClassOf(ranks int) ConcClass {
+	switch {
+	case ranks <= 8:
+		return LowConc
+	case ranks <= 16:
+		return MediumConc
+	default:
+		return HighConc
+	}
+}
+
+// Features is the workflow characterization Table II keys on: the
+// qualitative levels of each component's compute and I/O intensity
+// (derived from standalone I/O-index measurements exactly as §IV-A
+// defines them), the object-size class, and the concurrency level.
+type Features struct {
+	SimCompute workflow.IOLevel
+	SimWrite   workflow.IOLevel
+	AnaCompute workflow.IOLevel
+	AnaRead    workflow.IOLevel
+	ObjectSize SizeClass
+	Conc       ConcClass
+
+	// Quantitative underlay (diagnostics and the predictive scheduler).
+	SimProfile workflow.ComponentProfile
+	AnaProfile workflow.ComponentProfile
+	Ranks      int
+}
+
+func (f Features) String() string {
+	return fmt.Sprintf("sim{compute=%s write=%s} ana{compute=%s read=%s} objects=%s conc=%s",
+		f.SimCompute, f.SimWrite, f.AnaCompute, f.AnaRead, f.ObjectSize, f.Conc)
+}
+
+// Classify profiles both workflow components standalone (node-local
+// PMEM, no cross-component contention — the regime the paper uses to
+// define workflow parameters) and buckets the measurements into
+// Table II's vocabulary.
+func Classify(wf workflow.Spec, env Env) (Features, error) {
+	if err := wf.Validate(); err != nil {
+		return Features{}, err
+	}
+	simProf, err := workflow.ProfileComponent(wf.Simulation, sim.Write, wf.Ranks, wf.Iterations, env.machine(), env.stack())
+	if err != nil {
+		return Features{}, fmt.Errorf("core: classifying %s: %w", wf.Name, err)
+	}
+	anaProf, err := workflow.ProfileComponent(wf.Analytics, sim.Read, wf.Ranks, wf.Iterations, env.machine(), env.stack())
+	if err != nil {
+		return Features{}, fmt.Errorf("core: classifying %s: %w", wf.Name, err)
+	}
+	f := Features{
+		SimCompute: workflow.LevelOf(1 - simProf.IOIndex),
+		SimWrite:   workflow.LevelOf(simProf.IOIndex),
+		AnaCompute: workflow.LevelOf(1 - anaProf.IOIndex),
+		AnaRead:    workflow.LevelOf(anaProf.IOIndex),
+		ObjectSize: sizeClassOf(wf.Simulation),
+		Conc:       ConcClassOf(wf.Ranks),
+		SimProfile: simProf,
+		AnaProfile: anaProf,
+		Ranks:      wf.Ranks,
+	}
+	return f, nil
+}
+
+// sizeClassOf picks the class of the snapshot's dominant (by bytes)
+// object population.
+func sizeClassOf(c workflow.ComponentSpec) SizeClass {
+	var domBytes, domSize int64
+	for _, o := range c.Objects {
+		total := o.Bytes * int64(o.CountPerRank)
+		if total > domBytes {
+			domBytes = total
+			domSize = o.Bytes
+		}
+	}
+	if domSize >= LargeObjectBytes {
+		return LargeObjects
+	}
+	return SmallObjects
+}

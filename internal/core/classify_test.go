@@ -1,0 +1,141 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pmemsched/internal/workflow"
+	"pmemsched/internal/workloads"
+)
+
+func TestClassifyMicroLarge(t *testing.T) {
+	f, err := Classify(workloads.MicroWorkflow(workloads.MicroObjectLarge, 16), DefaultEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table II row 1's features: pure-I/O writer and reader, large
+	// objects.
+	if f.SimCompute != workflow.LevelNil {
+		t.Errorf("sim compute %s, want nil", f.SimCompute)
+	}
+	if f.SimWrite != workflow.LevelHigh {
+		t.Errorf("sim write %s, want high", f.SimWrite)
+	}
+	if f.AnaCompute != workflow.LevelNil || f.AnaRead != workflow.LevelHigh {
+		t.Errorf("analytics %s/%s, want nil/high", f.AnaCompute, f.AnaRead)
+	}
+	if f.ObjectSize != LargeObjects {
+		t.Errorf("object size %s", f.ObjectSize)
+	}
+	if f.Conc != MediumConc {
+		t.Errorf("concurrency %s", f.Conc)
+	}
+}
+
+func TestClassifyMicroSmall(t *testing.T) {
+	f, err := Classify(workloads.MicroWorkflow(workloads.MicroObjectSmall, 24), DefaultEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ObjectSize != SmallObjects || f.Conc != HighConc {
+		t.Fatalf("features %s", f)
+	}
+	// Software overhead is charged to the I/O phase, so the writer
+	// still classifies as write-intensive.
+	if f.SimWrite != workflow.LevelHigh {
+		t.Errorf("sim write %s, want high", f.SimWrite)
+	}
+	if f.AnaCompute != workflow.LevelNil {
+		t.Errorf("microbenchmark reader compute %s, want nil", f.AnaCompute)
+	}
+}
+
+func TestClassifyGTC(t *testing.T) {
+	f, err := Classify(workloads.GTCReadOnly(16), DefaultEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §IV-B/Table II: GTC is the compute-intensive simulation class
+	// ("Sim Compute high, Sim Write low"), large objects.
+	if f.SimCompute != workflow.LevelHigh {
+		t.Errorf("GTC sim compute %s, want high (I/O index %.2f)", f.SimCompute, f.SimProfile.IOIndex)
+	}
+	if f.SimWrite != workflow.LevelLow {
+		t.Errorf("GTC sim write %s, want low", f.SimWrite)
+	}
+	if f.ObjectSize != LargeObjects {
+		t.Errorf("GTC objects %s", f.ObjectSize)
+	}
+	if f.AnaRead != workflow.LevelHigh {
+		t.Errorf("read-only analytics read %s, want high", f.AnaRead)
+	}
+}
+
+func TestClassifyMiniAMR(t *testing.T) {
+	f, err := Classify(workloads.MiniAMRReadOnly(16), DefaultEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table II rows 3/7: "Sim Compute low, Sim Write high", small
+	// objects; the application read-only analytics classifies "low"
+	// compute (it at least touches every block).
+	if f.SimWrite != workflow.LevelHigh {
+		t.Errorf("miniAMR sim write %s, want high (I/O index %.2f)", f.SimWrite, f.SimProfile.IOIndex)
+	}
+	if f.SimCompute == workflow.LevelHigh {
+		t.Errorf("miniAMR sim compute %s, want below high", f.SimCompute)
+	}
+	if f.ObjectSize != SmallObjects {
+		t.Errorf("miniAMR objects %s", f.ObjectSize)
+	}
+	if f.AnaCompute == workflow.LevelNil {
+		t.Error("application read-only analytics should classify above nil compute")
+	}
+	if f.AnaRead != workflow.LevelHigh {
+		t.Errorf("miniAMR analytics read %s, want high", f.AnaRead)
+	}
+}
+
+func TestClassifyMatrixMultAnalytics(t *testing.T) {
+	f, err := Classify(workloads.GTCMatrixMult(16), DefaultEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.AnaCompute < workflow.LevelMedium {
+		t.Errorf("GTC matrixmult analytics compute %s (I/O index %.2f), want >= medium",
+			f.AnaCompute, f.AnaProfile.IOIndex)
+	}
+}
+
+func TestClassifyInvalidWorkflow(t *testing.T) {
+	wf := workloads.GTCReadOnly(16)
+	wf.Ranks = 0
+	if _, err := Classify(wf, DefaultEnv()); err == nil {
+		t.Fatal("classified invalid workflow")
+	}
+}
+
+func TestFeaturesString(t *testing.T) {
+	f := feat(lHigh, lLow, lNil, lHigh, LargeObjects, MediumConc)
+	s := f.String()
+	for _, want := range []string{"compute=high", "write=low", "read=high", "large", "medium"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Features.String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestSizeClassOfBimodalSnapshot(t *testing.T) {
+	// Dominant-by-bytes population decides: many small objects carrying
+	// most bytes → small, even with a large object present.
+	c := workflow.ComponentSpec{
+		Name: "bimodal",
+		Objects: []workflow.ObjectSpec{
+			{Bytes: 2 << 20, CountPerRank: 1},    // 2 MiB
+			{Bytes: 4 << 10, CountPerRank: 4096}, // 16 MiB of 4 KiB blocks
+		},
+	}
+	if got := sizeClassOf(c); got != SmallObjects {
+		t.Fatalf("bimodal snapshot classified %s", got)
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import "testing"
+
+func TestConfigLabels(t *testing.T) {
+	cases := map[Config]string{
+		SLocW: "S-LocW",
+		SLocR: "S-LocR",
+		PLocW: "P-LocW",
+		PLocR: "P-LocR",
+	}
+	for cfg, want := range cases {
+		if cfg.Label() != want {
+			t.Errorf("%+v label %q, want %q", cfg, cfg.Label(), want)
+		}
+		if cfg.String() != want {
+			t.Errorf("String mismatch for %s", want)
+		}
+	}
+}
+
+func TestConfigsTableOrder(t *testing.T) {
+	// Table I order: S-LocW, S-LocR, P-LocW, P-LocR.
+	want := []Config{SLocW, SLocR, PLocW, PLocR}
+	if len(Configs) != 4 {
+		t.Fatalf("%d configs", len(Configs))
+	}
+	for i := range want {
+		if Configs[i] != want[i] {
+			t.Fatalf("Configs[%d] = %s", i, Configs[i])
+		}
+	}
+}
+
+func TestParseConfig(t *testing.T) {
+	for _, cfg := range Configs {
+		got, err := ParseConfig(cfg.Label())
+		if err != nil || got != cfg {
+			t.Errorf("ParseConfig(%q) = %v, %v", cfg.Label(), got, err)
+		}
+	}
+	// Case-insensitive.
+	got, err := ParseConfig("s-locw")
+	if err != nil || got != SLocW {
+		t.Errorf("lowercase parse = %v, %v", got, err)
+	}
+	if _, err := ParseConfig("X-LocQ"); err == nil {
+		t.Error("bogus label parsed")
+	}
+	if _, err := ParseConfig(""); err == nil {
+		t.Error("empty label parsed")
+	}
+}
+
+func TestModePlacementStrings(t *testing.T) {
+	if Serial.String() != "serial" || Parallel.String() != "parallel" {
+		t.Error("mode strings")
+	}
+	if LocW.String() != "local-write-remote-read" || LocR.String() != "remote-write-local-read" {
+		t.Error("placement strings (Table I wording)")
+	}
+}

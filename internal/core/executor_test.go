@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"pmemsched/internal/stack"
+	"pmemsched/internal/stack/nvstream"
+	"pmemsched/internal/units"
+	"pmemsched/internal/workflow"
+)
+
+// smallWorkflow is a fast-to-simulate workflow for executor tests.
+func smallWorkflow(ranks int) workflow.Spec {
+	sim := workflow.ComponentSpec{
+		Name:                "toy-sim",
+		ComputePerIteration: 0.05,
+		Objects:             []workflow.ObjectSpec{{Bytes: 8 * units.MiB, CountPerRank: 4}},
+	}
+	return workflow.Couple("toy", sim, workflow.AnalyticsKernel{Name: "ro"}, ranks, 4)
+}
+
+func TestRunRejectsInvalidWorkflow(t *testing.T) {
+	wf := smallWorkflow(4)
+	wf.Ranks = -1
+	if _, err := Run(wf, SLocW, DefaultEnv()); err == nil {
+		t.Fatal("invalid workflow ran")
+	}
+}
+
+func TestRunRejectsOversubscription(t *testing.T) {
+	if _, err := Run(smallWorkflow(29), SLocW, DefaultEnv()); err == nil {
+		t.Fatal("29 ranks on 28 cores ran")
+	}
+}
+
+func TestSerialSplitBars(t *testing.T) {
+	res, err := Run(smallWorkflow(4), SLocW, DefaultEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WriterSplit <= 0 || res.ReaderSplit <= 0 {
+		t.Fatalf("serial split bars %g/%g", res.WriterSplit, res.ReaderSplit)
+	}
+	if math.Abs(res.WriterSplit+res.ReaderSplit-res.TotalSeconds) > 1e-9 {
+		t.Fatal("split bars do not sum to total")
+	}
+	if res.ReaderEnd != res.TotalSeconds {
+		t.Fatal("reader end != total")
+	}
+	// In serial mode the readers' gate time is roughly the writers' span.
+	if res.Reader.Gate < 0.9*res.WriterEnd {
+		t.Fatalf("reader gate %g vs writer end %g", res.Reader.Gate, res.WriterEnd)
+	}
+}
+
+func TestParallelFasterThanSerialWhenUncontended(t *testing.T) {
+	// A tiny workload far from device saturation: parallel must win.
+	s, err := Run(smallWorkflow(2), SLocW, DefaultEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Run(smallWorkflow(2), PLocW, DefaultEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalSeconds >= s.TotalSeconds {
+		t.Fatalf("parallel %g not faster than serial %g", p.TotalSeconds, s.TotalSeconds)
+	}
+}
+
+func TestBreakdownAccountsRunTime(t *testing.T) {
+	res, err := Run(smallWorkflow(4), PLocR, DefaultEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []PhaseBreakdown{res.Writer, res.Reader} {
+		sum := b.Compute + b.SW + b.IO + b.Wait + b.Gate + b.Barrier
+		if sum > res.TotalSeconds*(1+1e-9) {
+			t.Fatalf("per-rank mean accounted time %g exceeds total %g", sum, res.TotalSeconds)
+		}
+		if b.Busy() <= 0 {
+			t.Fatal("no busy time recorded")
+		}
+	}
+	if res.Writer.IO <= 0 || res.Reader.IO <= 0 {
+		t.Fatal("missing I/O time")
+	}
+}
+
+func TestRunAllCoversTableI(t *testing.T) {
+	results, err := RunAll(smallWorkflow(4), DefaultEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("%d results", len(results))
+	}
+	for i, r := range results {
+		if r.Config != Configs[i] {
+			t.Errorf("result %d config %s", i, r.Config)
+		}
+		if r.TotalSeconds <= 0 {
+			t.Errorf("result %d non-positive runtime", i)
+		}
+		if r.Workflow != "toy" {
+			t.Errorf("result %d workflow %q", i, r.Workflow)
+		}
+	}
+}
+
+func TestBestPicksMinimum(t *testing.T) {
+	results := []Result{
+		{Config: SLocW, TotalSeconds: 3},
+		{Config: SLocR, TotalSeconds: 2},
+		{Config: PLocW, TotalSeconds: 2.5},
+		{Config: PLocR, TotalSeconds: 2},
+	}
+	// Ties break toward the earlier Table I entry.
+	if got := Best(results); got.Config != SLocR {
+		t.Fatalf("Best = %s", got.Config)
+	}
+}
+
+func TestEnvCustomStack(t *testing.T) {
+	env := Env{NewStack: func() stack.Instance { return nvstream.Default() }}
+	res, err := Run(smallWorkflow(4), SLocW, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	novaRes, err := Run(smallWorkflow(4), SLocW, DefaultEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NVStream's lower software costs must show up as less SW time.
+	if res.Writer.SW >= novaRes.Writer.SW {
+		t.Fatalf("nvstream SW %g not below nova %g", res.Writer.SW, novaRes.Writer.SW)
+	}
+}
+
+func TestPlacementControlsLocality(t *testing.T) {
+	// LocW: writer local (no UPI in its path) — its I/O time at low
+	// concurrency should beat the LocR case where writes cross sockets
+	// under sustained load. Use a write-heavy workflow.
+	sim := workflow.ComponentSpec{
+		Name:    "wheavy",
+		Objects: []workflow.ObjectSpec{{Bytes: 64 * units.MiB, CountPerRank: 16}},
+	}
+	wf := workflow.Couple("wheavy", sim, workflow.AnalyticsKernel{}, 12, 4)
+	w, err := Run(wf, SLocW, DefaultEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(wf, SLocR, DefaultEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Writer.IO >= r.Writer.IO {
+		t.Fatalf("local writes (%g) not faster than remote writes (%g)", w.Writer.IO, r.Writer.IO)
+	}
+	if w.Reader.IO <= r.Reader.IO {
+		t.Fatalf("remote reads (%g) not slower than local reads (%g)", w.Reader.IO, r.Reader.IO)
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	a, err := Run(smallWorkflow(6), PLocW, DefaultEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallWorkflow(6), PLocW, DefaultEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalSeconds != b.TotalSeconds || a.WriterEnd != b.WriterEnd {
+		t.Fatalf("nondeterministic: %g/%g vs %g/%g", a.TotalSeconds, a.WriterEnd, b.TotalSeconds, b.WriterEnd)
+	}
+}

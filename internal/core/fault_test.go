@@ -1,0 +1,59 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pmemsched/internal/stack"
+	"pmemsched/internal/stack/faultinject"
+	"pmemsched/internal/stack/nvstream"
+	"pmemsched/internal/workloads"
+)
+
+// Fault-injection integration: a corrupted channel must surface as a
+// channel-integrity error from Run, never as a silently "successful"
+// measurement.
+func TestRunSurfacesInjectedFaults(t *testing.T) {
+	cases := []struct {
+		mode faultinject.Mode
+		rate float64
+	}{
+		{faultinject.DropAppends, 0.2},
+		{faultinject.CorruptSizes, 0.2},
+		{faultinject.StallCommits, 1.0},
+	}
+	for _, c := range cases {
+		env := Env{NewStack: func() stack.Instance {
+			return faultinject.New(nvstream.Default(), c.mode, c.rate, 42)
+		}}
+		_, err := Run(workloads.MiniAMRReadOnly(8), PLocR, env)
+		if err == nil {
+			t.Errorf("%s: corrupted channel produced a successful run", c.mode)
+			continue
+		}
+		if !strings.Contains(err.Error(), "channel integrity") &&
+			!strings.Contains(err.Error(), "deadlock") {
+			t.Errorf("%s: unexpected error kind: %v", c.mode, err)
+		}
+	}
+}
+
+// A zero-rate injector must be invisible: identical results to the
+// bare stack.
+func TestZeroRateInjectorInvisible(t *testing.T) {
+	bare := Env{NewStack: func() stack.Instance { return nvstream.Default() }}
+	wrapped := Env{NewStack: func() stack.Instance {
+		return faultinject.New(nvstream.Default(), faultinject.DropAppends, 0, 1)
+	}}
+	a, err := Run(workloads.GTCReadOnly(8), SLocW, bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(workloads.GTCReadOnly(8), SLocW, wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalSeconds != b.TotalSeconds {
+		t.Fatalf("injector at rate 0 changed the result: %g vs %g", a.TotalSeconds, b.TotalSeconds)
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+
+	"pmemsched/internal/stack"
+	"pmemsched/internal/stack/nova"
+	"pmemsched/internal/workloads"
+)
+
+// TestEndToEndChannelIntegrity runs a real suite workload and checks
+// the storage channel's functional metadata afterwards: every rank
+// committed every version, and the log contains one entry per
+// population per iteration.
+func TestEndToEndChannelIntegrity(t *testing.T) {
+	var captured *nova.FS
+	env := Env{NewStack: func() stack.Instance {
+		captured = nova.Default()
+		return captured
+	}}
+	wf := workloads.MiniAMRReadOnly(8)
+	if _, err := Run(wf, PLocR, env); err != nil {
+		t.Fatal(err)
+	}
+	if captured == nil {
+		t.Fatal("stack factory never called")
+	}
+	for rank := 0; rank < wf.Ranks; rank++ {
+		if got := captured.Committed(rank); got != int64(wf.Iterations) {
+			t.Errorf("rank %d committed %d versions, want %d", rank, got, wf.Iterations)
+		}
+		if got := captured.LogLen(rank); got != wf.Iterations {
+			t.Errorf("rank %d has %d log entries, want %d", rank, got, wf.Iterations)
+		}
+	}
+}
+
+// TestSerialModeNeverOverlapsIO checks the defining property of the
+// Serial mode (§II-A): analytics I/O happens strictly after the
+// simulation completes.
+func TestSerialModeNeverOverlapsIO(t *testing.T) {
+	res, err := Run(workloads.GTCReadOnly(8), SLocW, DefaultEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The readers' gate wait must cover the full writer span: no reader
+	// I/O before writers end.
+	if res.Reader.Gate < res.WriterEnd*0.999 {
+		t.Fatalf("reader gate %g < writer span %g: serial overlap", res.Reader.Gate, res.WriterEnd)
+	}
+}
+
+// TestParallelModeOverlapsIO checks the defining property of the
+// Parallel mode: analytics consumes versions while the simulation is
+// still producing, so the reader finishes shortly after the writer
+// instead of a full reader-span later.
+func TestParallelModeOverlapsIO(t *testing.T) {
+	serial, err := Run(workloads.GTCReadOnly(8), SLocW, DefaultEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(workloads.GTCReadOnly(8), PLocW, DefaultEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialTail := serial.TotalSeconds - serial.WriterEnd
+	parallelTail := parallel.TotalSeconds - parallel.WriterEnd
+	if parallelTail > serialTail*0.5 {
+		t.Fatalf("parallel reader tail %g vs serial %g: no overlap", parallelTail, serialTail)
+	}
+}
+
+// TestSuiteRunsUnderAllConfigs is the integration smoke test: every
+// suite workload executes without error under every configuration and
+// produces a positive, finite runtime with consistent splits.
+func TestSuiteRunsUnderAllConfigs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short mode")
+	}
+	env := DefaultEnv()
+	for _, wf := range workloads.Suite() {
+		results, err := RunAll(wf, env)
+		if err != nil {
+			t.Fatalf("%s: %v", wf.Name, err)
+		}
+		for _, r := range results {
+			if r.TotalSeconds <= 0 {
+				t.Errorf("%s %s: non-positive runtime", wf.Name, r.Config)
+			}
+			if r.WriterEnd > r.TotalSeconds+1e-9 {
+				t.Errorf("%s %s: writers ended after the workflow", wf.Name, r.Config)
+			}
+			if r.Config.Mode == Serial && r.ReaderSplit <= 0 {
+				t.Errorf("%s %s: serial run with empty reader phase", wf.Name, r.Config)
+			}
+		}
+	}
+}
+
+// TestLocalityMonotonicity: run serially, the writer's device time is
+// never slower with local writes than with remote writes, and
+// symmetrically for the reader.
+func TestLocalityMonotonicity(t *testing.T) {
+	env := DefaultEnv()
+	cases := []struct {
+		name string
+		mk   func() (locW, locR Result, err error)
+	}{
+		{"micro64", func() (Result, Result, error) {
+			w, err := Run(workloads.MicroWorkflow(workloads.MicroObjectLarge, 16), SLocW, env)
+			if err != nil {
+				return Result{}, Result{}, err
+			}
+			r, err := Run(workloads.MicroWorkflow(workloads.MicroObjectLarge, 16), SLocR, env)
+			return w, r, err
+		}},
+		{"miniamr", func() (Result, Result, error) {
+			w, err := Run(workloads.MiniAMRReadOnly(16), SLocW, env)
+			if err != nil {
+				return Result{}, Result{}, err
+			}
+			r, err := Run(workloads.MiniAMRReadOnly(16), SLocR, env)
+			return w, r, err
+		}},
+	}
+	for _, c := range cases {
+		locW, locR, err := c.mk()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if locW.Writer.IO > locR.Writer.IO*1.001 {
+			t.Errorf("%s: local writes (%g) slower than remote writes (%g)",
+				c.name, locW.Writer.IO, locR.Writer.IO)
+		}
+		if locR.Reader.IO > locW.Reader.IO*1.001 {
+			t.Errorf("%s: local reads (%g) slower than remote reads (%g)",
+				c.name, locR.Reader.IO, locW.Reader.IO)
+		}
+	}
+}

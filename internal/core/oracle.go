@@ -1,0 +1,91 @@
+package core
+
+import "pmemsched/internal/workflow"
+
+// OracleDecision is the exhaustive-search answer for one workflow: the
+// measured runtime of every configuration and the best one. This is
+// how the paper itself arrives at its per-figure "optimal
+// configuration" statements — by running all four.
+type OracleDecision struct {
+	Workflow string
+	Results  []Result // Table I order
+	Best     Result
+}
+
+// Oracle runs the workflow under all four configurations and returns
+// the full decision. Expensive (four end-to-end runs) but exact; the
+// rule-based recommender is validated against it.
+func Oracle(wf workflow.Spec, env Env) (OracleDecision, error) {
+	results, err := RunAll(wf, env)
+	if err != nil {
+		return OracleDecision{}, err
+	}
+	return OracleDecision{
+		Workflow: wf.Name,
+		Results:  results,
+		Best:     Best(results),
+	}, nil
+}
+
+// Normalized returns each configuration's runtime divided by the best
+// configuration's — the y-axis of the paper's Fig 10.
+func (d OracleDecision) Normalized() map[Config]float64 {
+	out := make(map[Config]float64, len(d.Results))
+	for _, r := range d.Results {
+		out[r.Config] = r.TotalSeconds / d.Best.TotalSeconds
+	}
+	return out
+}
+
+// Regret returns how much slower the given configuration is than the
+// oracle's best, as a fraction (0 = optimal, 0.25 = 25% slower).
+func (d OracleDecision) Regret(cfg Config) float64 {
+	for _, r := range d.Results {
+		if r.Config == cfg {
+			return r.TotalSeconds/d.Best.TotalSeconds - 1
+		}
+	}
+	return 0
+}
+
+// ScheduleOutcome reports one auto-scheduling decision end to end:
+// what the profiler measured, what the rules chose, what the oracle
+// would have chosen, and the realized regret.
+type ScheduleOutcome struct {
+	Workflow       string
+	Recommendation Recommendation
+	Chosen         Result
+	Oracle         OracleDecision
+	Regret         float64
+}
+
+// AutoSchedule is the paper's stated future work made concrete
+// ("explore how these recommendations can be practically incorporated
+// in scheduling systems"): profile the workflow's components
+// standalone, classify them, pick a configuration from Table II, and
+// execute. When verify is true it additionally runs the oracle to
+// report the regret of the rule-based choice.
+func AutoSchedule(wf workflow.Spec, env Env, verify bool) (ScheduleOutcome, error) {
+	rec, err := RecommendWorkflow(wf, env)
+	if err != nil {
+		return ScheduleOutcome{}, err
+	}
+	chosen, err := Run(wf, rec.Config, env)
+	if err != nil {
+		return ScheduleOutcome{}, err
+	}
+	out := ScheduleOutcome{
+		Workflow:       wf.Name,
+		Recommendation: rec,
+		Chosen:         chosen,
+	}
+	if verify {
+		dec, err := Oracle(wf, env)
+		if err != nil {
+			return ScheduleOutcome{}, err
+		}
+		out.Oracle = dec
+		out.Regret = dec.Regret(rec.Config)
+	}
+	return out, nil
+}

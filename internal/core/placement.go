@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"pmemsched/internal/numa"
+	"pmemsched/internal/workflow"
+)
+
+// DeploymentResult pairs a deployment with its measured runtime.
+type DeploymentResult struct {
+	Deployment Deployment
+	Result     Result
+}
+
+// PlacementDecision is the outcome of an exhaustive placement search
+// on an N-socket machine.
+type PlacementDecision struct {
+	Workflow string
+	Results  []DeploymentResult
+	Best     DeploymentResult
+}
+
+// PlacementOracle searches the full deployment space of a machine with
+// the given socket count: both execution modes × every ordered pair of
+// distinct component sockets × every channel socket, including
+// channels local to neither component (which the paper's Fig 2
+// excludes a priori — the search lets that exclusion be validated
+// rather than assumed: a both-remote channel pays remote penalties on
+// both sides and never wins).
+//
+// The environment's machine must have at least sockets sockets.
+func PlacementOracle(wf workflow.Spec, env Env, sockets int) (PlacementDecision, error) {
+	if sockets < 2 {
+		return PlacementDecision{}, fmt.Errorf("core: placement search needs >= 2 sockets, got %d", sockets)
+	}
+	dec := PlacementDecision{Workflow: wf.Name}
+	for _, mode := range []Mode{Serial, Parallel} {
+		for simS := 0; simS < sockets; simS++ {
+			for anaS := 0; anaS < sockets; anaS++ {
+				if simS == anaS {
+					continue
+				}
+				for devS := 0; devS < sockets; devS++ {
+					dep := Deployment{
+						Mode:         mode,
+						SimSocket:    numa.SocketID(simS),
+						AnaSocket:    numa.SocketID(anaS),
+						DeviceSocket: numa.SocketID(devS),
+					}
+					res, _, err := RunDeployment(wf, dep, env, false)
+					if err != nil {
+						return PlacementDecision{}, err
+					}
+					dr := DeploymentResult{Deployment: dep, Result: res}
+					dec.Results = append(dec.Results, dr)
+					if dec.Best.Result.TotalSeconds == 0 || res.TotalSeconds < dec.Best.Result.TotalSeconds {
+						dec.Best = dr
+					}
+				}
+			}
+		}
+	}
+	return dec, nil
+}
+
+// ChannelLocality classifies where a deployment's channel sits
+// relative to its components.
+type ChannelLocality uint8
+
+const (
+	// ChannelLocalToSim: local writes, remote reads (LocW).
+	ChannelLocalToSim ChannelLocality = iota
+	// ChannelLocalToAna: remote writes, local reads (LocR).
+	ChannelLocalToAna
+	// ChannelRemoteToBoth: the channel sits on a third socket.
+	ChannelRemoteToBoth
+)
+
+func (l ChannelLocality) String() string {
+	switch l {
+	case ChannelLocalToSim:
+		return "local-to-simulation"
+	case ChannelLocalToAna:
+		return "local-to-analytics"
+	default:
+		return "remote-to-both"
+	}
+}
+
+// Locality classifies the deployment's channel placement.
+func (d Deployment) Locality() ChannelLocality {
+	switch d.DeviceSocket {
+	case d.SimSocket:
+		return ChannelLocalToSim
+	case d.AnaSocket:
+		return ChannelLocalToAna
+	default:
+		return ChannelRemoteToBoth
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"pmemsched/internal/workflow"
+)
+
+// QueueItem is one scheduled workflow in a batch plan.
+type QueueItem struct {
+	Workflow       workflow.Spec
+	Recommendation Recommendation
+	Result         Result
+}
+
+// QueuePlan is the outcome of scheduling a queue of workflows on the
+// node back to back: the per-workflow decisions and the makespan,
+// compared against the naive policy of running everything under one
+// fixed configuration.
+type QueuePlan struct {
+	Items []QueueItem
+	// MakespanSeconds is the sum of end-to-end runtimes under the
+	// recommended per-workflow configurations (the node runs one
+	// workflow at a time, both sockets).
+	MakespanSeconds float64
+	// FixedMakespans maps each fixed single-configuration policy to its
+	// makespan — what an operator who hard-codes one configuration for
+	// every job would get.
+	FixedMakespans map[Config]float64
+}
+
+// BestFixed returns the best fixed-configuration makespan and its
+// configuration.
+func (p QueuePlan) BestFixed() (Config, float64) {
+	best := Config{}
+	bestV := -1.0
+	for cfg, v := range p.FixedMakespans {
+		if bestV < 0 || v < bestV {
+			best, bestV = cfg, v
+		}
+	}
+	return best, bestV
+}
+
+// Saving returns the fractional makespan reduction of the per-workflow
+// plan versus the best fixed policy (0.1 = 10% faster).
+func (p QueuePlan) Saving() float64 {
+	_, fixed := p.BestFixed()
+	if fixed <= 0 {
+		return 0
+	}
+	return 1 - p.MakespanSeconds/fixed
+}
+
+// ScheduleQueue plans and executes a queue of workflows on the node:
+// each workflow is classified, matched against Table II, and run under
+// its recommended configuration. This is the batch-scheduler shape the
+// paper's conclusions call for ("recommendations that have to be
+// considered by future workflow schedulers"): per-workflow
+// configuration decisions instead of one site-wide default.
+//
+// For the comparison, every workflow is also run under each fixed
+// configuration; with four configurations and N workflows this costs
+// 5N simulated executions plus 2N profiling runs.
+func ScheduleQueue(queue []workflow.Spec, env Env) (QueuePlan, error) {
+	if len(queue) == 0 {
+		return QueuePlan{}, fmt.Errorf("core: empty workflow queue")
+	}
+	plan := QueuePlan{FixedMakespans: map[Config]float64{}}
+	for _, wf := range queue {
+		rec, err := RecommendWorkflow(wf, env)
+		if err != nil {
+			return QueuePlan{}, fmt.Errorf("core: planning %s: %w", wf.Name, err)
+		}
+		res, err := Run(wf, rec.Config, env)
+		if err != nil {
+			return QueuePlan{}, err
+		}
+		plan.Items = append(plan.Items, QueueItem{Workflow: wf, Recommendation: rec, Result: res})
+		plan.MakespanSeconds += res.TotalSeconds
+
+		for _, cfg := range Configs {
+			if cfg == rec.Config {
+				plan.FixedMakespans[cfg] += res.TotalSeconds
+				continue
+			}
+			r, err := Run(wf, cfg, env)
+			if err != nil {
+				return QueuePlan{}, err
+			}
+			plan.FixedMakespans[cfg] += r.TotalSeconds
+		}
+	}
+	return plan, nil
+}

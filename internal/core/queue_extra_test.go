@@ -1,0 +1,30 @@
+package core
+
+import "testing"
+
+func TestQueuePlanBestFixedEmpty(t *testing.T) {
+	p := QueuePlan{FixedMakespans: map[Config]float64{}}
+	if _, v := p.BestFixed(); v != -1 {
+		t.Fatalf("empty BestFixed = %g", v)
+	}
+	if p.Saving() != 0 {
+		t.Fatal("saving on empty plan")
+	}
+}
+
+func TestQueuePlanSaving(t *testing.T) {
+	p := QueuePlan{
+		MakespanSeconds: 90,
+		FixedMakespans: map[Config]float64{
+			SLocW: 100,
+			SLocR: 120,
+		},
+	}
+	cfg, v := p.BestFixed()
+	if cfg != SLocW || v != 100 {
+		t.Fatalf("best fixed %s %g", cfg, v)
+	}
+	if got := p.Saving(); got < 0.0999 || got > 0.1001 {
+		t.Fatalf("saving %g, want ~0.1", got)
+	}
+}

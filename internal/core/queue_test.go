@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"pmemsched/internal/workflow"
+	"pmemsched/internal/workloads"
+)
+
+func testQueue() []workflow.Spec {
+	return []workflow.Spec{
+		workloads.MicroWorkflow(workloads.MicroObjectLarge, 16),
+		workloads.GTCReadOnly(8),
+		workloads.MiniAMRMatrixMult(24),
+	}
+}
+
+func TestScheduleQueue(t *testing.T) {
+	plan, err := ScheduleQueue(testQueue(), DefaultEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Items) != 3 {
+		t.Fatalf("%d items", len(plan.Items))
+	}
+	var sum float64
+	for _, it := range plan.Items {
+		if it.Result.Config != it.Recommendation.Config {
+			t.Error("item ran under a different config than planned")
+		}
+		sum += it.Result.TotalSeconds
+	}
+	if sum != plan.MakespanSeconds {
+		t.Fatalf("makespan %g != item sum %g", plan.MakespanSeconds, sum)
+	}
+	if len(plan.FixedMakespans) != 4 {
+		t.Fatalf("%d fixed policies", len(plan.FixedMakespans))
+	}
+	// The per-workflow plan can never lose to a fixed policy by more
+	// than the recommender's regret; with a diverse queue it should win
+	// or tie against the best fixed configuration within a few percent.
+	_, fixed := plan.BestFixed()
+	if plan.MakespanSeconds > fixed*1.05 {
+		t.Fatalf("per-workflow plan (%g) much worse than best fixed (%g)", plan.MakespanSeconds, fixed)
+	}
+	if plan.Saving() < -0.05 || plan.Saving() > 1 {
+		t.Fatalf("saving %g out of range", plan.Saving())
+	}
+	// Against the WORST fixed policy the plan must show a real gain
+	// (that is the paper's point: a bad site-wide default hurts).
+	worst := 0.0
+	for _, v := range plan.FixedMakespans {
+		if v > worst {
+			worst = v
+		}
+	}
+	if worst <= plan.MakespanSeconds {
+		t.Fatal("no fixed policy is worse than the adaptive plan — queue not diverse enough to test")
+	}
+}
+
+func TestScheduleQueueEmpty(t *testing.T) {
+	if _, err := ScheduleQueue(nil, DefaultEnv()); err == nil {
+		t.Fatal("empty queue planned")
+	}
+}
+
+func TestScheduleQueueBadWorkflow(t *testing.T) {
+	q := testQueue()
+	q[1].Ranks = -2
+	if _, err := ScheduleQueue(q, DefaultEnv()); err == nil {
+		t.Fatal("invalid workflow planned")
+	}
+}

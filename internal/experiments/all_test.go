@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"pmemsched/internal/core"
+)
+
+// TestAllExperimentsRun executes every experiment end to end (the same
+// pipeline cmd/wfsuite drives) and checks each produces a renderable
+// report with findings. Winner-level assertions live in the
+// calibration acceptance tests; here the contract is completeness: no
+// experiment errors, every report renders, and every figure experiment
+// carries at least one claim check.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation in -short mode")
+	}
+	env := core.DefaultEnv()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			rep, err := e.Run(env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.ID != e.ID {
+				t.Errorf("report ID %q != experiment ID %q", rep.ID, e.ID)
+			}
+			var buf bytes.Buffer
+			if err := rep.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if buf.Len() == 0 {
+				t.Fatal("empty report")
+			}
+			if _, total := rep.Matched(); total == 0 {
+				t.Fatal("no claim checks recorded")
+			}
+			// Structured exports must work for every report.
+			var csv, js bytes.Buffer
+			if err := rep.WriteCSV(&csv); err != nil {
+				t.Fatal(err)
+			}
+			if err := rep.WriteJSON(&js); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

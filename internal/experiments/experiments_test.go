@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pmemsched/internal/core"
+)
+
+func TestAllExperimentsWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %+v incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment ID %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	// Every figure and table of the evaluation must be present.
+	for _, id := range []string{"fig1", "tab1", "fig3", "fig4", "fig5", "fig6",
+		"fig7", "fig8", "fig9", "fig10", "tab2", "stackcmp", "ablation"} {
+		if !seen[id] {
+			t.Errorf("missing experiment %q", id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("fig4")
+	if err != nil || e.ID != "fig4" {
+		t.Fatalf("ByID(fig4) = %v, %v", e.ID, err)
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Fatal("unknown ID resolved")
+	}
+}
+
+func TestTable1Experiment(t *testing.T) {
+	rep, err := Table1(core.DefaultEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"S-LocW", "S-LocR", "P-LocW", "P-LocR",
+		"local-write-remote-read", "remote-write-local-read", "Serial", "Parallel"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I output missing %q", want)
+		}
+	}
+	if ok, total := rep.Matched(); ok != total || total == 0 {
+		t.Fatalf("Table I checks %d/%d", ok, total)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{ID: "x", Title: "demo"}
+	r.Section("part")
+	r.Printf("hello %d\n", 7)
+	r.Check("claim", "paper says", "we saw", true)
+	r.Check("claim2", "paper says", "we saw otherwise", false)
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== x: demo ==", "### part", "hello 7", "claim", "YES", "no"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if ok, total := r.Matched(); ok != 1 || total != 2 {
+		t.Fatalf("Matched() = %d/%d", ok, total)
+	}
+}
+
+func TestHelperFunctions(t *testing.T) {
+	if ratio(4, 2) != 2 || ratio(1, 0) != 0 {
+		t.Error("ratio")
+	}
+	if fmtRatio(2.5) != "2.50x" {
+		t.Errorf("fmtRatio = %q", fmtRatio(2.5))
+	}
+	if fmtPct(1.25) != "+25.0%" {
+		t.Errorf("fmtPct = %q", fmtPct(1.25))
+	}
+	results := []core.Result{
+		{Config: core.SLocW, TotalSeconds: 3},
+		{Config: core.PLocR, TotalSeconds: 1},
+	}
+	if winner(results) != core.PLocR {
+		t.Error("winner")
+	}
+	if got := resultOf(results, core.SLocW).TotalSeconds; got != 3 {
+		t.Errorf("resultOf = %g", got)
+	}
+	sorted := sortedConfigsByRuntime(results)
+	if sorted[0].Config != core.PLocR {
+		t.Error("sortedConfigsByRuntime")
+	}
+}
+
+func TestResultBars(t *testing.T) {
+	results := []core.Result{
+		{Config: core.SLocW, TotalSeconds: 10, WriterSplit: 6, ReaderSplit: 4},
+		{Config: core.PLocW, TotalSeconds: 8},
+	}
+	bars := resultBars(results)
+	if len(bars) != 2 {
+		t.Fatalf("%d bars", len(bars))
+	}
+	if len(bars[0].Segments) != 2 {
+		t.Error("serial bar not split")
+	}
+	if len(bars[1].Segments) != 1 {
+		t.Error("parallel bar split")
+	}
+	if bars[1].Note != "<- best" {
+		t.Error("best marker missing")
+	}
+}

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pmemsched/internal/core"
+	"pmemsched/internal/numa"
+	"pmemsched/internal/platform"
+	"pmemsched/internal/pmem"
+	"pmemsched/internal/trace"
+	"pmemsched/internal/units"
+	"pmemsched/internal/workflow"
+	"pmemsched/internal/workloads"
+)
+
+// Sweep maps the configuration-crossover landscape beyond the paper's
+// 18 measured points: a grid over object size × concurrency for the
+// pure-streaming workflow, recording the oracle-best configuration in
+// each cell. The paper's Fig 3 argues its suite spans the parameter
+// space; the sweep fills the space in and shows where the regime
+// boundaries (LocW↔LocR, serial↔parallel) actually fall.
+func Sweep(env core.Env) (*Report, error) {
+	r := &Report{ID: "sweep", Title: "Configuration crossover map (object size x concurrency)"}
+
+	sizes := []int64{2 * units.KiB, 16 * units.KiB, 256 * units.KiB, 4 * units.MiB, 64 * units.MiB}
+	rankCounts := []int{4, 8, 12, 16, 20, 24}
+
+	t := &trace.Table{
+		Title:   "oracle-best configuration, pure-streaming workflow (1 GiB/rank-iteration)",
+		Columns: append([]string{"object size"}, rankLabels(rankCounts)...),
+	}
+	winners := map[core.Config]int{}
+	for _, size := range sizes {
+		row := []any{units.FormatBytes(size)}
+		for _, ranks := range rankCounts {
+			wf := workloads.MicroWorkflow(size, ranks)
+			dec, err := core.Oracle(wf, env)
+			if err != nil {
+				return nil, err
+			}
+			winners[dec.Best.Config]++
+			row = append(row, dec.Best.Config.Label())
+		}
+		t.AddRow(row...)
+	}
+	r.Table(t)
+
+	// A second sweep holds the I/O fixed and varies the simulation's
+	// compute intensity — the other Fig 3 axis — at medium concurrency.
+	computes := []float64{0, 0.2, 0.5, 1.0, 2.0, 4.0}
+	t2 := &trace.Table{
+		Title:   "oracle-best vs simulation compute per iteration (64 MiB objects, 16 ranks)",
+		Columns: []string{"compute/iter", "sim I/O index", "best config"},
+	}
+	for _, c := range computes {
+		sim := workloads.Micro(workloads.MicroObjectLarge)
+		sim.ComputePerIteration = c
+		wf := workflow.Couple(fmt.Sprintf("sweep-c%.1f", c), sim, workloads.ReadOnly(), 16, workloads.Iterations)
+		dec, err := core.Oracle(wf, env)
+		if err != nil {
+			return nil, err
+		}
+		f, err := core.Classify(wf, env)
+		if err != nil {
+			return nil, err
+		}
+		t2.AddRow(fmt.Sprintf("%.1fs", c), fmt.Sprintf("%.2f", f.SimProfile.IOIndex), dec.Best.Config.Label())
+		winners[dec.Best.Config]++
+	}
+	r.Table(t2)
+
+	r.Check("crossovers exist in both sweep axes",
+		"no single configuration optimal (§VII)",
+		fmt.Sprintf("%d distinct winners across the grid", len(winners)),
+		len(winners) >= 2)
+	return r, nil
+}
+
+func rankLabels(ranks []int) []string {
+	out := make([]string, len(ranks))
+	for i, r := range ranks {
+		out[i] = fmt.Sprintf("%dr", r)
+	}
+	return out
+}
+
+// RuleTransfer asks whether Table II survives a device generation: it
+// re-runs the oracle for every suite workload on a second-generation
+// Optane model and counts how often the Gen-1-derived recommendation
+// still matches. The rules encode relative trade-offs (write/read
+// asymmetry, remote collapse, cache contention), not Gen-1's absolute
+// peaks, so most rows should transfer.
+func RuleTransfer(env core.Env) (*Report, error) {
+	r := &Report{ID: "gen2", Title: "Rule robustness on Gen-2 Optane"}
+	gen2 := env
+	gen2.NewMachine = func() *platform.Machine {
+		return platform.New(numa.TestbedConfig(), pmem.Gen2Optane())
+	}
+	t := &trace.Table{Columns: []string{"workflow", "rule (Gen-1 features)", "Gen-2 oracle", "transfers", "regret on Gen-2"}}
+	match, total := 0, 0
+	for _, wf := range workloads.Suite() {
+		rec, err := core.RecommendWorkflow(wf, env) // classify on Gen-1, as the rules were derived
+		if err != nil {
+			return nil, err
+		}
+		dec, err := core.Oracle(wf, gen2)
+		if err != nil {
+			return nil, err
+		}
+		ok := rec.Config == dec.Best.Config
+		total++
+		if ok {
+			match++
+		}
+		t.AddRow(wf.Name, rec.Config.Label(), dec.Best.Config.Label(), fmt.Sprint(ok),
+			fmt.Sprintf("%.1f%%", dec.Regret(rec.Config)*100))
+	}
+	r.Table(t)
+	r.Check("Gen-1 rules transfer to Gen-2",
+		"qualitative trade-offs are not generation-specific",
+		fmt.Sprintf("%d/%d rows keep their winner", match, total),
+		match >= total*2/3)
+	return r, nil
+}
+
+// JitterRobustness re-runs representative workloads with 10% per-rank
+// compute imbalance injected into both components. The simulator's
+// perfectly synchronized compute phases are an idealization; the
+// paper's conclusions should not hinge on it. Each sentinel's winning
+// configuration is compared against the balanced run's.
+func JitterRobustness(env core.Env) (*Report, error) {
+	r := &Report{ID: "jitter", Title: "Robustness to compute-load imbalance (10% jitter)"}
+	const jitter = 0.10
+	sentinels := []workflow.Spec{
+		workloads.MicroWorkflow(workloads.MicroObjectLarge, 24),
+		workloads.MicroWorkflow(workloads.MicroObjectSmall, 16),
+		workloads.GTCReadOnly(8),
+		workloads.GTCReadOnly(24),
+		workloads.MiniAMRReadOnly(16),
+		workloads.MiniAMRMatrixMult(24),
+	}
+	t := &trace.Table{Columns: []string{"workflow", "balanced best", "jittered best", "stable", "jittered/balanced runtime"}}
+	stable := 0
+	for _, wf := range sentinels {
+		balanced, err := core.Oracle(wf, env)
+		if err != nil {
+			return nil, err
+		}
+		jwf := wf
+		jwf.Simulation.ComputeJitter = jitter
+		jwf.Analytics.ComputeJitter = jitter
+		jittered, err := core.Oracle(jwf, env)
+		if err != nil {
+			return nil, err
+		}
+		same := balanced.Best.Config == jittered.Best.Config
+		if same {
+			stable++
+		}
+		t.AddRow(wf.Name, balanced.Best.Config.Label(), jittered.Best.Config.Label(),
+			fmt.Sprint(same),
+			fmtRatio(ratio(jittered.Best.TotalSeconds, balanced.Best.TotalSeconds)))
+	}
+	r.Table(t)
+	r.Check("winners stable under load imbalance",
+		"conclusions not an artifact of perfect synchronization",
+		fmt.Sprintf("%d/%d sentinels keep their winner", stable, len(sentinels)),
+		stable >= len(sentinels)*2/3)
+	return r, nil
+}
+
+// PlacementSpace validates the paper's Fig 2 deployment pruning on a
+// larger machine: an exhaustive search over every (mode, simulation
+// socket, analytics socket, channel socket) deployment of a four-socket
+// node. The paper restricts attention to channels local to one of the
+// two components; the search confirms that a channel remote to both
+// never wins, and that the winning deployment reduces to the same
+// Table I configuration the dual-socket oracle picks.
+func PlacementSpace(env core.Env) (*Report, error) {
+	r := &Report{ID: "placement", Title: "Deployment-space search on a four-socket node"}
+	four := env
+	four.NewMachine = func() *platform.Machine {
+		return platform.New(numa.Config{
+			Sockets:        4,
+			CoresPerSocket: 28,
+			DRAMBandwidth:  105 * units.GBps,
+			UPIBandwidth:   21.6 * units.GBps,
+		}, pmem.Gen1Optane())
+	}
+	cases := []workflow.Spec{
+		workloads.MicroWorkflow(workloads.MicroObjectLarge, 24),
+		workloads.GTCReadOnly(16),
+		workloads.MiniAMRReadOnly(24),
+	}
+	t := &trace.Table{Columns: []string{
+		"workflow", "deployments searched", "best deployment", "channel locality", "2-socket best"}}
+	neverRemoteBoth := true
+	sameAsTwoSocket := 0
+	for _, wf := range cases {
+		dec, err := core.PlacementOracle(wf, four, 4)
+		if err != nil {
+			return nil, err
+		}
+		twoSocket, err := core.Oracle(wf, env)
+		if err != nil {
+			return nil, err
+		}
+		loc := dec.Best.Deployment.Locality()
+		if loc == core.ChannelRemoteToBoth {
+			neverRemoteBoth = false
+		}
+		// Reduce the winning deployment to a Table I configuration.
+		reduced := core.Config{Mode: dec.Best.Deployment.Mode, Placement: core.LocW}
+		if loc == core.ChannelLocalToAna {
+			reduced.Placement = core.LocR
+		}
+		if reduced == twoSocket.Best.Config {
+			sameAsTwoSocket++
+		}
+		t.AddRow(wf.Name, len(dec.Results), dec.Best.Deployment.Label(), loc.String(),
+			twoSocket.Best.Config.Label())
+	}
+	r.Table(t)
+	r.Check("channel remote to both components never wins",
+		"Fig 2 considers only component-local channels",
+		fmt.Sprint(neverRemoteBoth), neverRemoteBoth)
+	r.Check("search reduces to the dual-socket choice",
+		"same Table I configuration",
+		fmt.Sprintf("%d/%d workloads", sameAsTwoSocket, len(cases)),
+		sameAsTwoSocket == len(cases))
+	return r, nil
+}

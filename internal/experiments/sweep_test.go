@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pmemsched/internal/core"
+)
+
+func TestSweepExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep grid in -short mode")
+	}
+	rep, err := Sweep(core.DefaultEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 2 {
+		t.Fatalf("%d tables", len(rep.Tables))
+	}
+	grid := rep.Tables[0]
+	if len(grid.Rows) != 5 {
+		t.Fatalf("%d size rows", len(grid.Rows))
+	}
+	for _, row := range grid.Rows {
+		for _, cell := range row[1:] {
+			if _, err := core.ParseConfig(cell); err != nil {
+				t.Fatalf("grid cell %q is not a configuration", cell)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "crossover") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestRuleTransferExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gen2 transfer in -short mode")
+	}
+	rep, err := RuleTransfer(core.DefaultEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 1 || len(rep.Tables[0].Rows) != 18 {
+		t.Fatalf("transfer table shape wrong")
+	}
+	ok, total := rep.Matched()
+	if total == 0 {
+		t.Fatal("no findings")
+	}
+	_ = ok // the claim itself may or may not hold; the experiment must complete
+}

@@ -1,0 +1,123 @@
+// Package numa models the NUMA topology of the paper's testbed: a
+// dual-socket server where each socket has its own cores, DRAM and
+// locally attached PMEM, and remote accesses cross a UPI interconnect.
+package numa
+
+import (
+	"fmt"
+
+	"pmemsched/internal/sim"
+	"pmemsched/internal/units"
+)
+
+// SocketID identifies a socket within a machine.
+type SocketID int
+
+// Socket describes one processor socket.
+type Socket struct {
+	ID    SocketID
+	Cores int
+	// DRAM is the socket's memory bandwidth resource; all transfers by
+	// ranks on this socket stage through it (reads land in local DRAM,
+	// writes source from it).
+	DRAM *sim.FixedResource
+
+	reserved int
+}
+
+// ReserveCores pins n ranks to distinct cores of the socket and
+// returns their core indexes, or an error if the socket lacks free
+// cores. The paper never oversubscribes cores (components use at most
+// 24 ranks on 28-core sockets); the bookkeeping exists so a
+// mis-configured experiment fails loudly instead of silently sharing
+// cores the model does not simulate.
+func (s *Socket) ReserveCores(n int) ([]int, error) {
+	if s.reserved+n > s.Cores {
+		return nil, fmt.Errorf("numa: socket %d: cannot reserve %d cores (%d/%d already reserved)",
+			s.ID, n, s.reserved, s.Cores)
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = s.reserved + i
+	}
+	s.reserved += n
+	return ids, nil
+}
+
+// ReleaseAll frees every core reservation (used between experiment
+// repetitions on a shared topology).
+func (s *Socket) ReleaseAll() { s.reserved = 0 }
+
+// FreeCores returns the number of unreserved cores.
+func (s *Socket) FreeCores() int { return s.Cores - s.reserved }
+
+// Topology is the machine-level NUMA layout.
+type Topology struct {
+	Sockets []*Socket
+	// UPI is the cross-socket interconnect. A single shared resource
+	// (rather than one per direction) deliberately couples remote reads
+	// and remote writes: the paper observes that concurrent remote
+	// traffic of either kind creates back-pressure on the other.
+	UPI *sim.FixedResource
+}
+
+// Config parameterizes NewTopology.
+type Config struct {
+	Sockets        int
+	CoresPerSocket int
+	DRAMBandwidth  float64 // bytes/second per socket
+	UPIBandwidth   float64 // bytes/second, aggregate
+}
+
+// TestbedConfig returns the paper's platform: two sockets of 28
+// physical cores. DRAM and UPI bandwidths follow the Cascade
+// Lake-generation figures from the studies the paper cites.
+func TestbedConfig() Config {
+	return Config{
+		Sockets:        2,
+		CoresPerSocket: 28,
+		DRAMBandwidth:  105 * units.GBps,
+		UPIBandwidth:   21.6 * units.GBps,
+	}
+}
+
+// NewTopology builds a topology from cfg. It panics on nonsensical
+// configurations (an experiment cannot proceed without a machine).
+func NewTopology(cfg Config) *Topology {
+	if cfg.Sockets <= 0 || cfg.CoresPerSocket <= 0 {
+		panic(fmt.Sprintf("numa: invalid topology config %+v", cfg))
+	}
+	if cfg.DRAMBandwidth <= 0 || cfg.UPIBandwidth <= 0 {
+		panic(fmt.Sprintf("numa: bandwidths must be positive in %+v", cfg))
+	}
+	t := &Topology{
+		UPI: sim.NewFixedResource("upi", cfg.UPIBandwidth),
+	}
+	for i := 0; i < cfg.Sockets; i++ {
+		t.Sockets = append(t.Sockets, &Socket{
+			ID:    SocketID(i),
+			Cores: cfg.CoresPerSocket,
+			DRAM:  sim.NewFixedResource(fmt.Sprintf("dram%d", i), cfg.DRAMBandwidth),
+		})
+	}
+	return t
+}
+
+// Socket returns the socket with the given ID.
+func (t *Topology) Socket(id SocketID) *Socket {
+	if int(id) < 0 || int(id) >= len(t.Sockets) {
+		panic(fmt.Sprintf("numa: no socket %d in %d-socket topology", id, len(t.Sockets)))
+	}
+	return t.Sockets[id]
+}
+
+// Remote reports whether an access from socket a to a device attached
+// to socket b crosses the interconnect.
+func (t *Topology) Remote(a, b SocketID) bool { return a != b }
+
+// ReleaseAll frees core reservations on every socket.
+func (t *Topology) ReleaseAll() {
+	for _, s := range t.Sockets {
+		s.ReleaseAll()
+	}
+}

@@ -1,0 +1,129 @@
+package numa
+
+import (
+	"testing"
+
+	"pmemsched/internal/units"
+)
+
+func TestTestbedConfigMatchesPaper(t *testing.T) {
+	cfg := TestbedConfig()
+	// §V: dual-socket, 28 physical cores per socket.
+	if cfg.Sockets != 2 || cfg.CoresPerSocket != 28 {
+		t.Fatalf("testbed %d sockets x %d cores", cfg.Sockets, cfg.CoresPerSocket)
+	}
+	if cfg.DRAMBandwidth <= 0 || cfg.UPIBandwidth <= 0 {
+		t.Fatal("non-positive bandwidths")
+	}
+	if cfg.UPIBandwidth >= cfg.DRAMBandwidth {
+		t.Fatal("UPI should be narrower than DRAM")
+	}
+}
+
+func TestNewTopology(t *testing.T) {
+	top := NewTopology(TestbedConfig())
+	if len(top.Sockets) != 2 {
+		t.Fatalf("%d sockets", len(top.Sockets))
+	}
+	if top.Sockets[0].DRAM == top.Sockets[1].DRAM {
+		t.Fatal("sockets share a DRAM resource")
+	}
+	if top.UPI == nil {
+		t.Fatal("no UPI resource")
+	}
+}
+
+func TestNewTopologyPanicsOnBadConfig(t *testing.T) {
+	cases := []Config{
+		{Sockets: 0, CoresPerSocket: 28, DRAMBandwidth: 1, UPIBandwidth: 1},
+		{Sockets: 2, CoresPerSocket: 0, DRAMBandwidth: 1, UPIBandwidth: 1},
+		{Sockets: 2, CoresPerSocket: 28, DRAMBandwidth: 0, UPIBandwidth: 1},
+		{Sockets: 2, CoresPerSocket: 28, DRAMBandwidth: 1, UPIBandwidth: -1},
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			NewTopology(cfg)
+		}()
+	}
+}
+
+func TestReserveCores(t *testing.T) {
+	top := NewTopology(TestbedConfig())
+	s := top.Socket(0)
+	ids, err := s.ReserveCores(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 24 || ids[0] != 0 || ids[23] != 23 {
+		t.Fatalf("core ids %v", ids)
+	}
+	if s.FreeCores() != 4 {
+		t.Fatalf("free cores %d", s.FreeCores())
+	}
+	if _, err := s.ReserveCores(5); err == nil {
+		t.Fatal("oversubscription accepted")
+	}
+	// A second small reservation continues from the watermark.
+	more, err := s.ReserveCores(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if more[0] != 24 {
+		t.Fatalf("second reservation starts at %d", more[0])
+	}
+	s.ReleaseAll()
+	if s.FreeCores() != 28 {
+		t.Fatalf("release failed: %d free", s.FreeCores())
+	}
+}
+
+func TestTopologyReleaseAll(t *testing.T) {
+	top := NewTopology(TestbedConfig())
+	for _, s := range top.Sockets {
+		if _, err := s.ReserveCores(10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	top.ReleaseAll()
+	for _, s := range top.Sockets {
+		if s.FreeCores() != 28 {
+			t.Fatalf("socket %d has %d free", s.ID, s.FreeCores())
+		}
+	}
+}
+
+func TestRemote(t *testing.T) {
+	top := NewTopology(TestbedConfig())
+	if top.Remote(0, 0) || top.Remote(1, 1) {
+		t.Error("same-socket access flagged remote")
+	}
+	if !top.Remote(0, 1) || !top.Remote(1, 0) {
+		t.Error("cross-socket access not flagged remote")
+	}
+}
+
+func TestSocketAccessorPanicsOutOfRange(t *testing.T) {
+	top := NewTopology(TestbedConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	top.Socket(5)
+}
+
+func TestUPICapacity(t *testing.T) {
+	top := NewTopology(Config{Sockets: 2, CoresPerSocket: 4, DRAMBandwidth: 100 * units.GBps, UPIBandwidth: 21.6 * units.GBps})
+	cap, perFlow := top.UPI.Evaluate()
+	if cap != 21.6*units.GBps {
+		t.Fatalf("UPI capacity %g", cap)
+	}
+	if perFlow <= cap {
+		t.Fatalf("UPI per-flow cap %g should be unbounded", perFlow)
+	}
+}

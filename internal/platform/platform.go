@@ -1,0 +1,76 @@
+// Package platform assembles the simulated server: NUMA topology plus
+// socket-attached PMEM devices, and answers path/latency queries for
+// the storage stacks ("rank on socket A accessing PMEM on socket B
+// traverses these resources with this setup latency").
+package platform
+
+import (
+	"fmt"
+
+	"pmemsched/internal/numa"
+	"pmemsched/internal/pmem"
+	"pmemsched/internal/sim"
+)
+
+// Machine is one simulated server node.
+type Machine struct {
+	Topology *numa.Topology
+	// PMEM holds one device per socket, indexed by socket ID.
+	PMEM []*pmem.Device
+}
+
+// New builds a machine from a NUMA config and a PMEM model, attaching
+// one interleaved PMEM device set to every socket.
+func New(cfg numa.Config, model pmem.Model) *Machine {
+	t := numa.NewTopology(cfg)
+	m := &Machine{Topology: t}
+	for i := range t.Sockets {
+		m.PMEM = append(m.PMEM, pmem.NewDevice(fmt.Sprintf("pmem%d", i), model))
+	}
+	return m
+}
+
+// Testbed returns the paper's platform: dual-socket, 28 cores/socket,
+// first-generation Optane on both sockets.
+func Testbed() *Machine {
+	return New(numa.TestbedConfig(), pmem.Gen1Optane())
+}
+
+// Device returns the PMEM device attached to the given socket.
+func (m *Machine) Device(s numa.SocketID) *pmem.Device {
+	if int(s) < 0 || int(s) >= len(m.PMEM) {
+		panic(fmt.Sprintf("platform: no PMEM on socket %d", s))
+	}
+	return m.PMEM[s]
+}
+
+// Access describes one device access issued by a rank.
+type Access struct {
+	From   numa.SocketID // socket the issuing core is on
+	Device numa.SocketID // socket the PMEM device is attached to
+	Kind   sim.OpKind
+	Bytes  int64 // access size (object or fragment)
+}
+
+// Path returns the resources an access traverses, its flow class, and
+// its setup latency in seconds. Reads stream PMEM→DRAM of the issuing
+// socket; writes stream DRAM→PMEM. Remote accesses additionally cross
+// the UPI interconnect.
+func (m *Machine) Path(a Access) (path []sim.Resource, class sim.FlowClass, latency float64) {
+	dev := m.Device(a.Device)
+	remote := m.Topology.Remote(a.From, a.Device)
+	class = sim.FlowClass{Kind: a.Kind, Remote: remote, AccessSize: a.Bytes}
+	switch a.Kind {
+	case sim.Read:
+		path = append(path, dev.ReadPort())
+		latency = dev.Model().ReadLatency(remote)
+	case sim.Write:
+		path = append(path, dev.WritePort())
+		latency = dev.Model().WriteLatency(remote)
+	}
+	if remote {
+		path = append(path, m.Topology.UPI)
+	}
+	path = append(path, m.Topology.Socket(a.From).DRAM)
+	return path, class, latency
+}

@@ -1,0 +1,110 @@
+package platform
+
+import (
+	"testing"
+
+	"pmemsched/internal/numa"
+	"pmemsched/internal/pmem"
+	"pmemsched/internal/sim"
+	"pmemsched/internal/units"
+)
+
+func TestTestbedShape(t *testing.T) {
+	m := Testbed()
+	if len(m.PMEM) != 2 {
+		t.Fatalf("%d PMEM devices", len(m.PMEM))
+	}
+	if m.PMEM[0] == m.PMEM[1] {
+		t.Fatal("sockets share one device")
+	}
+	if m.Device(0).Name() == m.Device(1).Name() {
+		t.Fatal("device names collide")
+	}
+}
+
+func TestDevicePanicsOutOfRange(t *testing.T) {
+	m := Testbed()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	m.Device(2)
+}
+
+func pathNames(path []sim.Resource) map[string]bool {
+	out := map[string]bool{}
+	for _, r := range path {
+		out[r.Name()] = true
+	}
+	return out
+}
+
+func TestLocalReadPath(t *testing.T) {
+	m := Testbed()
+	path, class, lat := m.Path(Access{From: 0, Device: 0, Kind: sim.Read, Bytes: 64 * units.MiB})
+	names := pathNames(path)
+	if !names["pmem0.read"] || !names["dram0"] {
+		t.Fatalf("local read path %v", names)
+	}
+	if names["upi"] {
+		t.Fatal("local read crosses UPI")
+	}
+	if class.Remote || class.Kind != sim.Read {
+		t.Fatalf("class %+v", class)
+	}
+	if lat != pmem.Gen1Optane().ReadLatencyLocal {
+		t.Fatalf("latency %g", lat)
+	}
+}
+
+func TestRemoteWritePath(t *testing.T) {
+	m := Testbed()
+	path, class, lat := m.Path(Access{From: 0, Device: 1, Kind: sim.Write, Bytes: 2048})
+	names := pathNames(path)
+	if !names["pmem1.write"] || !names["upi"] || !names["dram0"] {
+		t.Fatalf("remote write path %v", names)
+	}
+	if !class.Remote || class.Kind != sim.Write {
+		t.Fatalf("class %+v", class)
+	}
+	if class.AccessSize != 2048 {
+		t.Fatalf("access size %d", class.AccessSize)
+	}
+	if lat != pmem.Gen1Optane().WriteLatencyRemote {
+		t.Fatalf("latency %g", lat)
+	}
+}
+
+func TestDRAMBelongsToIssuingSocket(t *testing.T) {
+	m := Testbed()
+	// A rank on socket 1 reading remote PMEM on socket 0 stages into
+	// socket 1's DRAM.
+	path, _, _ := m.Path(Access{From: 1, Device: 0, Kind: sim.Read, Bytes: 4096})
+	names := pathNames(path)
+	if !names["dram1"] || names["dram0"] {
+		t.Fatalf("wrong DRAM in path: %v", names)
+	}
+}
+
+func TestRemoteLatencyExceedsLocal(t *testing.T) {
+	m := Testbed()
+	_, _, localR := m.Path(Access{From: 0, Device: 0, Kind: sim.Read, Bytes: 1})
+	_, _, remoteR := m.Path(Access{From: 0, Device: 1, Kind: sim.Read, Bytes: 1})
+	if remoteR <= localR {
+		t.Fatal("remote read latency not higher")
+	}
+}
+
+func TestCustomMachine(t *testing.T) {
+	cfg := numa.Config{Sockets: 4, CoresPerSocket: 8, DRAMBandwidth: 50 * units.GBps, UPIBandwidth: 10 * units.GBps}
+	m := New(cfg, pmem.Gen1Optane())
+	if len(m.PMEM) != 4 {
+		t.Fatalf("%d devices", len(m.PMEM))
+	}
+	// Access between two non-zero sockets still crosses UPI.
+	path, class, _ := m.Path(Access{From: 2, Device: 3, Kind: sim.Write, Bytes: 1})
+	if !class.Remote || !pathNames(path)["upi"] {
+		t.Fatal("cross-socket access not remote")
+	}
+}

@@ -1,0 +1,143 @@
+package pmem
+
+import (
+	"fmt"
+	"math"
+
+	"pmemsched/internal/sim"
+)
+
+// Device is one socket-attached PMEM module set exposed to the
+// simulation kernel as two coupled resource ports. Flows classified as
+// reads must be routed through ReadPort and writes through WritePort;
+// both ports' capacities are computed from the combined weighted
+// census, so read/write mixing and total-concurrency effects couple
+// the ports the way the physical device couples them.
+//
+// The device additionally integrates a sustained-write-pressure EMA
+// over simulated time (see the package comment) that deepens the
+// remote-write penalty under continuous write load.
+type Device struct {
+	name  string
+	model Model
+
+	readFlows  []*sim.Flow
+	writeFlows []*sim.Flow
+
+	pressure float64
+	lastT    float64
+
+	read  readPort
+	write writePort
+}
+
+// NewDevice returns a device named name (e.g. "pmem0") using the given
+// model. It panics if the model fails validation: a device with a
+// nonsensical model would silently corrupt every experiment built on
+// it.
+func NewDevice(name string, model Model) *Device {
+	if err := model.Validate(); err != nil {
+		panic(fmt.Sprintf("pmem: invalid model for device %q: %v", name, err))
+	}
+	d := &Device{name: name, model: model}
+	d.read.d = d
+	d.write.d = d
+	return d
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.name }
+
+// Model returns the device's calibration constants.
+func (d *Device) Model() Model { return d.model }
+
+// Pressure returns the current sustained-write-pressure EMA (0..1).
+func (d *Device) Pressure() float64 { return d.pressure }
+
+// ReadPort returns the resource read flows must traverse.
+func (d *Device) ReadPort() sim.Resource { return &d.read }
+
+// WritePort returns the resource write flows must traverse.
+func (d *Device) WritePort() sim.Resource { return &d.write }
+
+// advance integrates the write-pressure EMA up to simulated time now
+// using the write occupancy that held since the last update.
+func (d *Device) advance(now float64) {
+	if now <= d.lastT {
+		return
+	}
+	dt := now - d.lastT
+	d.lastT = now
+	occ := math.Min(1, d.load().Writes()/d.model.WriteScaleOps)
+	alpha := 1 - math.Exp(-dt/d.model.PressureTau)
+	d.pressure += (occ - d.pressure) * alpha
+}
+
+// load computes the weighted census from the currently installed
+// flows. Weights are re-read on every call so the kernel's fixed-point
+// iteration sees up-to-date duty cycles.
+func (d *Device) load() Load {
+	var l Load
+	l.RawReads = len(d.readFlows)
+	l.RawWrites = len(d.writeFlows)
+	for _, f := range d.readFlows {
+		w := f.Weight
+		if f.Class.Remote {
+			l.RemoteReads += w
+		} else {
+			l.LocalReads += w
+		}
+		if d.model.Small(f.Class.AccessSize) {
+			l.SmallReads += w
+			l.RawSmall++
+		}
+	}
+	for _, f := range d.writeFlows {
+		w := f.Weight
+		if f.Class.Remote {
+			l.RemoteWrites += w
+		} else {
+			l.LocalWrites += w
+		}
+		if d.model.Small(f.Class.AccessSize) {
+			l.SmallWrites += w
+			l.RawSmall++
+		}
+	}
+	return l
+}
+
+type readPort struct{ d *Device }
+
+func (p *readPort) Name() string { return p.d.name + ".read" }
+
+func (p *readPort) SetFlows(now float64, flows []*sim.Flow) {
+	// Integrate pressure over the interval that just ended, using the
+	// occupancy that held during it, before installing the new flow set.
+	p.d.advance(now)
+	p.d.readFlows = flows
+}
+
+func (p *readPort) Evaluate() (float64, float64) {
+	caps := p.d.model.Caps(p.d.load(), p.d.pressure)
+	return caps.Read, p.d.model.ReadPerFlowMax
+}
+
+type writePort struct{ d *Device }
+
+func (p *writePort) Name() string { return p.d.name + ".write" }
+
+func (p *writePort) SetFlows(now float64, flows []*sim.Flow) {
+	p.d.advance(now)
+	p.d.writeFlows = flows
+}
+
+func (p *writePort) Evaluate() (float64, float64) {
+	caps := p.d.model.Caps(p.d.load(), p.d.pressure)
+	return caps.Write, p.d.model.WritePerFlowMax
+}
+
+var (
+	_ sim.Resource = (*readPort)(nil)
+	_ sim.Resource = (*writePort)(nil)
+)

@@ -1,0 +1,78 @@
+package sim
+
+import "fmt"
+
+// Cond is a monotonic counter condition: processes wait until the
+// published value reaches a target. It models version channels between
+// in-situ workflow components — the writer publishes snapshot version v
+// when its last object of that version is persisted, and the paired
+// reader waits for v before reading.
+//
+// Conds are created via Kernel.NewCond so the kernel can wake waiters
+// deterministically.
+type Cond struct {
+	name  string
+	value int64
+}
+
+// Value returns the highest value published so far.
+func (c *Cond) Value() int64 { return c.value }
+
+// Name returns the condition's diagnostic name.
+func (c *Cond) Name() string { return c.name }
+
+// Publish raises the condition's value to v (monotonic: lower values
+// are ignored). Waiters whose target is now satisfied become runnable
+// at the current simulated time. Publish must be called from within
+// Program.Next (i.e. on the kernel's thread).
+func (c *Cond) Publish(k *Kernel, v int64) {
+	if v <= c.value {
+		return
+	}
+	c.value = v
+	k.wakeWaiters()
+}
+
+// Barrier synchronizes a fixed group of processes: all participants
+// must arrive before any proceeds. It models the per-iteration MPI
+// barrier across the ranks of one workflow component.
+type Barrier struct {
+	name    string
+	n       int
+	arrived int
+	gen     int64 // completed generations; waiters wait for gen to advance
+}
+
+// NewBarrier returns a barrier for n participants. n must be positive.
+func NewBarrier(name string, n int) *Barrier {
+	if n <= 0 {
+		panic(fmt.Sprintf("sim: barrier %q participant count %d must be positive", name, n))
+	}
+	return &Barrier{name: n0name(name), n: n}
+}
+
+func n0name(name string) string {
+	if name == "" {
+		return "barrier"
+	}
+	return name
+}
+
+// Name returns the barrier's diagnostic name.
+func (b *Barrier) Name() string { return b.name }
+
+// Generation returns the number of completed barrier rounds.
+func (b *Barrier) Generation() int64 { return b.gen }
+
+// arrive records one arrival and reports the generation the caller
+// must wait for. When the caller is the last participant the
+// generation completes immediately and no waiting is needed.
+func (b *Barrier) arrive() (waitFor int64, released bool) {
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+		return b.gen, true
+	}
+	return b.gen + 1, false
+}

@@ -1,0 +1,174 @@
+// Package daxraw models the limiting case of the PMEM software
+// spectrum: a raw DAX mapping used as the streaming transport. The
+// application load/stores directly into a memory-mapped region with a
+// fixed layout — no kernel crossing, no log, no index; the only
+// per-operation software is offset arithmetic and the persistence
+// fence sequence (clwb + sfence) for writes.
+//
+// The paper evaluates NOVA (kernel filesystem, high per-op cost) and
+// NVStream (userspace store, low cost); daxraw anchors the bottom of
+// that axis. It is deliberately minimal — which is also its weakness
+// as a transport: the fixed layout supports only same-shape snapshots,
+// exactly the restriction NVStream's versioned log removes.
+package daxraw
+
+import (
+	"fmt"
+	"sync"
+
+	"pmemsched/internal/stack"
+	"pmemsched/internal/units"
+)
+
+// Costs holds the per-operation software costs of the raw mapping.
+type Costs struct {
+	WriteFence float64 // clwb/sfence persistence sequence per object
+	ReadSetup  float64 // offset computation per object
+}
+
+// DefaultCosts returns the calibrated raw-DAX cost set: tens of
+// nanoseconds, the floor of the software-cost axis.
+func DefaultCosts() Costs {
+	return Costs{
+		WriteFence: 80 * units.Nanosecond,
+		ReadSetup:  20 * units.Nanosecond,
+	}
+}
+
+// Mapping is a simulated raw-DAX transport instance. Metadata is a
+// per-rank table of object extents plus a version counter per rank
+// (a single persisted sequence number — the minimum coordination a
+// polling reader needs).
+type Mapping struct {
+	costs Costs
+
+	mu    sync.Mutex
+	ranks map[int]*rankRegion
+}
+
+type rankRegion struct {
+	// The raw layout double-buffers: one slot set for the version being
+	// produced, one for the last committed version (so a pipelined
+	// reader can consume version v while v+1 is written). Nothing older
+	// survives — the key functional difference from NVStream's
+	// versioned log, and the reason serial-mode replay through a raw
+	// mapping is impossible (see the tests).
+	extents   map[stack.ObjectID]int64 // current committed version
+	prev      map[stack.ObjectID]int64 // previous committed version
+	staged    map[stack.ObjectID]int64 // in-progress version
+	committed int64
+}
+
+// New returns a raw-DAX mapping with the given costs.
+func New(costs Costs) *Mapping {
+	return &Mapping{costs: costs, ranks: map[int]*rankRegion{}}
+}
+
+// Default returns a raw-DAX mapping with DefaultCosts.
+func Default() *Mapping { return New(DefaultCosts()) }
+
+// Name implements stack.Model.
+func (*Mapping) Name() string { return "daxraw" }
+
+// WriteCost implements stack.Model.
+func (m *Mapping) WriteCost(int64) float64 { return m.costs.WriteFence }
+
+// ReadCost implements stack.Model.
+func (m *Mapping) ReadCost(int64) float64 { return m.costs.ReadSetup }
+
+// AccessSize implements stack.Model.
+func (m *Mapping) AccessSize(objBytes int64) int64 { return objBytes }
+
+// Append implements stack.Channel: stores the object into its slot for
+// the in-progress version.
+func (m *Mapping) Append(rank int, version int64, obj stack.ObjectID, bytes int64) error {
+	if bytes <= 0 {
+		return fmt.Errorf("daxraw: rank %d: append %v with non-positive size %d", rank, obj, bytes)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := m.rank(rank)
+	if version != r.committed+1 {
+		return fmt.Errorf("daxraw: rank %d: slot overwrite for version %d out of order (committed %d)",
+			rank, version, r.committed)
+	}
+	if prev, ok := r.extents[obj]; ok && prev != bytes {
+		return fmt.Errorf("daxraw: rank %d: object %v resized %d -> %d (fixed layout cannot grow)",
+			rank, obj, prev, bytes)
+	}
+	r.staged[obj] = bytes
+	return nil
+}
+
+// Commit implements stack.Channel: bumps the persisted sequence number,
+// making the overwritten slots current.
+func (m *Mapping) Commit(rank int, version int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := m.rank(rank)
+	if version != r.committed+1 {
+		return fmt.Errorf("daxraw: rank %d: commit version %d out of order (committed %d)",
+			rank, version, r.committed)
+	}
+	r.prev = r.extents
+	merged := make(map[stack.ObjectID]int64, len(r.extents))
+	for obj, bytes := range r.extents {
+		merged[obj] = bytes
+	}
+	for obj, bytes := range r.staged {
+		merged[obj] = bytes
+	}
+	r.extents = merged
+	r.staged = map[stack.ObjectID]int64{}
+	r.committed = version
+	return nil
+}
+
+// Fetch implements stack.Channel. Only the two most recent committed
+// versions are addressable — anything older was overwritten in place.
+func (m *Mapping) Fetch(rank int, version int64, obj stack.ObjectID) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := m.rank(rank)
+	if version > r.committed {
+		return 0, fmt.Errorf("daxraw: rank %d: fetch %v@%d before commit (committed %d)",
+			rank, obj, version, r.committed)
+	}
+	var table map[stack.ObjectID]int64
+	switch version {
+	case r.committed:
+		table = r.extents
+	case r.committed - 1:
+		table = r.prev
+	default:
+		return 0, fmt.Errorf("daxraw: rank %d: version %d overwritten (current %d); raw layout keeps no history",
+			rank, version, r.committed)
+	}
+	bytes, ok := table[obj]
+	if !ok {
+		return 0, fmt.Errorf("daxraw: rank %d: object %v not in layout at version %d", rank, obj, version)
+	}
+	return bytes, nil
+}
+
+// Committed implements stack.Channel.
+func (m *Mapping) Committed(rank int) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rank(rank).committed
+}
+
+func (m *Mapping) rank(rank int) *rankRegion {
+	r, ok := m.ranks[rank]
+	if !ok {
+		r = &rankRegion{
+			extents: map[stack.ObjectID]int64{},
+			prev:    map[stack.ObjectID]int64{},
+			staged:  map[stack.ObjectID]int64{},
+		}
+		m.ranks[rank] = r
+	}
+	return r
+}
+
+var _ stack.Instance = (*Mapping)(nil)

@@ -1,0 +1,93 @@
+package daxraw
+
+import (
+	"strings"
+	"testing"
+
+	"pmemsched/internal/core"
+	"pmemsched/internal/stack"
+	"pmemsched/internal/stack/nova"
+	"pmemsched/internal/workloads"
+)
+
+func TestCostsAreTheFloor(t *testing.T) {
+	d := Default()
+	fs := nova.Default()
+	for _, sz := range []int64{2048, 64 << 20} {
+		if d.WriteCost(sz) >= fs.WriteCost(sz)/10 {
+			t.Errorf("daxraw write cost %g not well below NOVA %g", d.WriteCost(sz), fs.WriteCost(sz))
+		}
+		if d.ReadCost(sz) >= d.WriteCost(sz) {
+			t.Errorf("read setup should undercut the write fence")
+		}
+	}
+	if d.Name() != "daxraw" {
+		t.Error("name")
+	}
+}
+
+func TestDoubleBufferSemantics(t *testing.T) {
+	d := Default()
+	obj := stack.ObjectID{}
+	for v := int64(1); v <= 3; v++ {
+		if err := d.Append(0, v, obj, 100); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Commit(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Current and previous versions are readable...
+	if _, err := d.Fetch(0, 3, obj); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Fetch(0, 2, obj); err != nil {
+		t.Fatal(err)
+	}
+	// ...anything older was overwritten in place.
+	if _, err := d.Fetch(0, 1, obj); err == nil {
+		t.Fatal("version 1 should be gone")
+	}
+}
+
+func TestFixedLayoutCannotGrow(t *testing.T) {
+	d := Default()
+	obj := stack.ObjectID{}
+	if err := d.Append(0, 1, obj, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Commit(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append(0, 2, obj, 200); err == nil {
+		t.Fatal("slot resize accepted")
+	}
+}
+
+// The motivating limitation: a raw mapping cannot support Serial mode,
+// where the analytics replays every version after the simulation
+// finishes — versions 1..N-2 are gone. This is exactly the gap
+// NVStream's versioned log exists to close (§V).
+func TestSerialModeImpossible(t *testing.T) {
+	env := core.Env{NewStack: func() stack.Instance { return Default() }}
+	_, err := core.Run(workloads.MiniAMRReadOnly(8), core.SLocR, env)
+	if err == nil {
+		t.Fatal("serial replay through a raw mapping succeeded")
+	}
+	if !strings.Contains(err.Error(), "overwritten") {
+		t.Fatalf("unexpected failure kind: %v", err)
+	}
+}
+
+// Parallel mode pipelines with a lag of at most one version, which the
+// double buffer supports.
+func TestParallelModeWorks(t *testing.T) {
+	env := core.Env{NewStack: func() stack.Instance { return Default() }}
+	res, err := core.Run(workloads.MiniAMRReadOnly(8), core.PLocR, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSeconds <= 0 {
+		t.Fatal("no runtime")
+	}
+}

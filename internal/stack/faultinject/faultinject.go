@@ -1,0 +1,112 @@
+// Package faultinject wraps a storage stack with deterministic fault
+// injection, for testing that the executor surfaces stream-integrity
+// violations instead of silently producing results from a corrupted
+// channel.
+//
+// Faults model metadata damage a real PMEM deployment can suffer —
+// torn metadata after a crash (lost appends), bit flips in a size
+// field, a stuck commit — not performance anomalies, which belong to
+// the device model.
+package faultinject
+
+import (
+	"math/rand"
+
+	"pmemsched/internal/stack"
+)
+
+// Mode selects what the injector corrupts.
+type Mode uint8
+
+const (
+	// DropAppends silently discards a fraction of Append calls (torn
+	// metadata: the object never becomes visible).
+	DropAppends Mode = iota
+	// CorruptSizes records a wrong size for a fraction of appends (a
+	// damaged length field).
+	CorruptSizes
+	// StallCommits silently discards a fraction of Commit calls (the
+	// version marker never lands).
+	StallCommits
+)
+
+func (m Mode) String() string {
+	switch m {
+	case DropAppends:
+		return "drop-appends"
+	case CorruptSizes:
+		return "corrupt-sizes"
+	default:
+		return "stall-commits"
+	}
+}
+
+// Injector wraps a stack.Instance, corrupting a deterministic fraction
+// of its channel operations. Cost-model methods pass through
+// unchanged.
+type Injector struct {
+	stack.Model
+	inner stack.Channel
+
+	mode Mode
+	rate float64
+	rng  *rand.Rand
+
+	injected int
+}
+
+// New wraps inner, corrupting roughly rate (0..1) of the targeted
+// operations, deterministically for a given seed.
+func New(inner stack.Instance, mode Mode, rate float64, seed int64) *Injector {
+	return &Injector{
+		Model: inner,
+		inner: inner,
+		mode:  mode,
+		rate:  rate,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Injected returns how many operations were corrupted.
+func (i *Injector) Injected() int { return i.injected }
+
+func (i *Injector) hit() bool {
+	if i.rng.Float64() < i.rate {
+		i.injected++
+		return true
+	}
+	return false
+}
+
+// Append implements stack.Channel with DropAppends/CorruptSizes faults.
+func (i *Injector) Append(rank int, version int64, obj stack.ObjectID, bytes int64) error {
+	switch i.mode {
+	case DropAppends:
+		if i.hit() {
+			return nil // lost: reader's Fetch will fail
+		}
+	case CorruptSizes:
+		if i.hit() {
+			bytes = bytes/2 + 1 // damaged length field
+		}
+	}
+	return i.inner.Append(rank, version, obj, bytes)
+}
+
+// Commit implements stack.Channel with StallCommits faults.
+func (i *Injector) Commit(rank int, version int64) error {
+	if i.mode == StallCommits && i.hit() {
+		return nil // marker never persisted
+	}
+	return i.inner.Commit(rank, version)
+}
+
+// Fetch implements stack.Channel.
+func (i *Injector) Fetch(rank int, version int64, obj stack.ObjectID) (int64, error) {
+	return i.inner.Fetch(rank, version, obj)
+}
+
+// Committed implements stack.Channel.
+func (i *Injector) Committed(rank int) int64 { return i.inner.Committed(rank) }
+
+var _ stack.Instance = (*Injector)(nil)

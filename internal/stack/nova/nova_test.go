@@ -1,0 +1,79 @@
+package nova
+
+import (
+	"testing"
+
+	"pmemsched/internal/stack"
+	"pmemsched/internal/stack/stacktest"
+	"pmemsched/internal/units"
+)
+
+func TestConformance(t *testing.T) {
+	stacktest.Run(t, func() stack.Instance { return Default() })
+}
+
+func TestWriteCostIncludesSyscallAndLog(t *testing.T) {
+	f := Default()
+	c := DefaultCosts()
+	want := c.SyscallCross + c.WriteLog + c.PerByte*2048
+	if got := f.WriteCost(2048); got != want {
+		t.Fatalf("WriteCost(2048) = %g, want %g", got, want)
+	}
+}
+
+func TestWriteReadAsymmetry(t *testing.T) {
+	// NOVA's write path (journal + allocator + persistence barriers) is
+	// substantially costlier than the read path (lookup into DAX-mapped
+	// data) — the asymmetry §VI-B's observations rest on.
+	f := Default()
+	if f.WriteCost(2048) < 2*f.ReadCost(2048) {
+		t.Fatalf("write/read software asymmetry too small: %g vs %g",
+			f.WriteCost(2048), f.ReadCost(2048))
+	}
+}
+
+func TestAccessSizeIsObjectGranular(t *testing.T) {
+	f := Default()
+	for _, sz := range []int64{2 * units.KiB, 64 * units.MiB} {
+		if f.AccessSize(sz) != sz {
+			t.Errorf("AccessSize(%d) = %d", sz, f.AccessSize(sz))
+		}
+	}
+}
+
+func TestLogGrowsPerAppend(t *testing.T) {
+	f := Default()
+	obj := stack.ObjectID{}
+	for i := 1; i <= 5; i++ {
+		if err := f.Append(0, 1, stack.ObjectID{Group: i}, 100); err != nil {
+			t.Fatal(err)
+		}
+		if got := f.LogLen(0); got != i {
+			t.Fatalf("log length %d after %d appends", got, i)
+		}
+	}
+	_ = obj
+}
+
+func TestFetchScansOnlyItsVersion(t *testing.T) {
+	f := Default()
+	// Interleave many versions; fetch must find objects in the right one.
+	for v := int64(1); v <= 20; v++ {
+		if err := f.Append(0, v, stack.ObjectID{Group: int(v)}, v*10); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Commit(0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := f.Fetch(0, 7, stack.ObjectID{Group: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 70 {
+		t.Fatalf("fetch = %d, want 70", got)
+	}
+	if _, err := f.Fetch(0, 7, stack.ObjectID{Group: 8}); err == nil {
+		t.Fatal("found an object written in a different version")
+	}
+}

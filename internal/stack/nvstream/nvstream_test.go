@@ -1,0 +1,56 @@
+package nvstream
+
+import (
+	"testing"
+
+	"pmemsched/internal/stack"
+	"pmemsched/internal/stack/nova"
+	"pmemsched/internal/stack/stacktest"
+)
+
+func TestConformance(t *testing.T) {
+	stacktest.Run(t, func() stack.Instance { return Default() })
+}
+
+func TestUserspaceCostsBelowNOVA(t *testing.T) {
+	// The whole point of NVStream (§V, §VII): no kernel crossing, so
+	// per-operation software cost is well below a filesystem's.
+	nv := Default()
+	fs := nova.Default()
+	for _, sz := range []int64{2048, 4608, 64 << 20} {
+		if nv.WriteCost(sz) >= fs.WriteCost(sz) {
+			t.Errorf("NVStream write cost %g not below NOVA %g at %d bytes",
+				nv.WriteCost(sz), fs.WriteCost(sz), sz)
+		}
+		if nv.ReadCost(sz) >= fs.ReadCost(sz) {
+			t.Errorf("NVStream read cost %g not below NOVA %g at %d bytes",
+				nv.ReadCost(sz), fs.ReadCost(sz), sz)
+		}
+	}
+}
+
+func TestImmutableObjects(t *testing.T) {
+	s := Default()
+	obj := stack.ObjectID{Group: 1}
+	if err := s.Append(0, 1, obj, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(0, 1, obj, 20); err == nil {
+		t.Fatal("duplicate append of an immutable object accepted")
+	}
+}
+
+func TestAppendedCounter(t *testing.T) {
+	s := Default()
+	for i := 0; i < 7; i++ {
+		if err := s.Append(2, 1, stack.ObjectID{Group: i}, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Appended(2); got != 7 {
+		t.Fatalf("Appended = %d, want 7", got)
+	}
+	if got := s.Appended(3); got != 0 {
+		t.Fatalf("other rank Appended = %d, want 0", got)
+	}
+}

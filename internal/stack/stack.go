@@ -1,0 +1,78 @@
+// Package stack defines the PMEM software-stack abstraction the
+// workflows perform streaming I/O through, and the cost model the
+// simulator charges for each operation.
+//
+// The paper evaluates two stacks — the NOVA kernel filesystem and the
+// NVStream userspace object store — and observes (§VII) that the
+// configuration trade-offs hold across both, while the *magnitude* of
+// per-operation software cost shifts the small-object results: high
+// software overhead lowers the effective concurrency PMEM experiences,
+// which is exactly what the cost model here feeds into the device
+// model.
+package stack
+
+import "fmt"
+
+// Cost is the CPU time a stack operation consumes outside the device
+// transfer itself: system-call crossings, metadata/journal updates,
+// index lookups. Seconds(objBytes) = Fixed + PerByte*objBytes.
+type Cost struct {
+	Fixed   float64 // seconds per operation
+	PerByte float64 // seconds per byte (cache management, checksums)
+}
+
+// Seconds evaluates the cost for an object of the given size.
+func (c Cost) Seconds(objBytes int64) float64 {
+	return c.Fixed + c.PerByte*float64(objBytes)
+}
+
+// Model is the per-operation software cost model of one storage stack.
+type Model interface {
+	// Name identifies the stack ("nova", "nvstream").
+	Name() string
+	// WriteCost is the software cost of persisting one object.
+	WriteCost(objBytes int64) float64
+	// ReadCost is the software cost of fetching one object.
+	ReadCost(objBytes int64) float64
+	// AccessSize is the device access granularity used for an object of
+	// the given size (what the PMEM model classifies as small/large).
+	AccessSize(objBytes int64) int64
+}
+
+// Channel is the functional face of a streaming I/O channel: writers
+// append versioned objects, readers fetch them. Implementations keep
+// real metadata (logs, indexes) so the executor and the test suite can
+// verify stream integrity — every object read was written, versions
+// are monotonic, snapshot composition matches.
+type Channel interface {
+	// Append records that writer rank persisted object obj of version v.
+	Append(rank int, version int64, obj ObjectID, bytes int64) error
+	// Commit marks version v complete for a rank (all its objects
+	// appended).
+	Commit(rank int, version int64) error
+	// Fetch validates that reader rank can fetch obj at version v,
+	// returning the recorded size.
+	Fetch(rank int, version int64, obj ObjectID) (int64, error)
+	// Committed returns the highest version committed by the rank.
+	Committed(rank int) int64
+}
+
+// Instance is a concrete storage stack: cost model plus functional
+// channel metadata. Both provided implementations (nova.FS,
+// nvstream.Store) satisfy it.
+type Instance interface {
+	Model
+	Channel
+}
+
+// ObjectID names one object within a rank's snapshot.
+type ObjectID struct {
+	// Group distinguishes object populations within a snapshot (e.g. a
+	// workload with both large field arrays and small attribute
+	// blocks).
+	Group int
+	// Index is the object's position within its group.
+	Index int
+}
+
+func (o ObjectID) String() string { return fmt.Sprintf("g%d.o%d", o.Group, o.Index) }

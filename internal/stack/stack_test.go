@@ -1,0 +1,37 @@
+package stack
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCostSeconds(t *testing.T) {
+	c := Cost{Fixed: 2e-6, PerByte: 1e-9}
+	if got := c.Seconds(1000); got != 2e-6+1e-6 {
+		t.Fatalf("Seconds(1000) = %g", got)
+	}
+	if got := c.Seconds(0); got != 2e-6 {
+		t.Fatalf("Seconds(0) = %g", got)
+	}
+}
+
+func TestCostMonotoneProperty(t *testing.T) {
+	c := Cost{Fixed: 1e-6, PerByte: 2e-10}
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return c.Seconds(x) <= c.Seconds(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObjectIDString(t *testing.T) {
+	id := ObjectID{Group: 2, Index: 7}
+	if id.String() != "g2.o7" {
+		t.Fatalf("String() = %q", id.String())
+	}
+}

@@ -1,0 +1,192 @@
+// Package stacktest provides a conformance suite for stack.Instance
+// implementations: any storage stack used as a workflow transport must
+// pass these semantics checks (cost sanity, versioned-channel ordering,
+// integrity of fetches).
+package stacktest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pmemsched/internal/stack"
+)
+
+// Run exercises a fresh instance produced by mk against the full
+// conformance suite.
+func Run(t *testing.T, mk func() stack.Instance) {
+	t.Helper()
+	t.Run("CostsPositiveAndMonotone", func(t *testing.T) { costs(t, mk()) })
+	t.Run("ChannelHappyPath", func(t *testing.T) { happyPath(t, mk()) })
+	t.Run("CommitOrdering", func(t *testing.T) { commitOrdering(t, mk()) })
+	t.Run("FetchBeforeCommitFails", func(t *testing.T) { earlyFetch(t, mk()) })
+	t.Run("FetchUnknownObjectFails", func(t *testing.T) { unknownFetch(t, mk()) })
+	t.Run("AppendAfterCommitFails", func(t *testing.T) { staleAppend(t, mk()) })
+	t.Run("AppendNonPositiveSizeFails", func(t *testing.T) { badSize(t, mk()) })
+	t.Run("RanksAreIndependent", func(t *testing.T) { rankIsolation(t, mk()) })
+	t.Run("RandomizedVersionStream", func(t *testing.T) { randomized(t, mk()) })
+}
+
+func costs(t *testing.T, s stack.Instance) {
+	sizes := []int64{1, 2048, 4608, 64 << 20, 229 << 20}
+	for _, sz := range sizes {
+		if w := s.WriteCost(sz); w <= 0 {
+			t.Errorf("WriteCost(%d) = %g, want positive", sz, w)
+		}
+		if r := s.ReadCost(sz); r <= 0 {
+			t.Errorf("ReadCost(%d) = %g, want positive", sz, r)
+		}
+		if a := s.AccessSize(sz); a <= 0 || a > sz {
+			t.Errorf("AccessSize(%d) = %d outside (0,size]", sz, a)
+		}
+	}
+	if s.WriteCost(1<<30) < s.WriteCost(1) {
+		t.Error("write cost decreased with size")
+	}
+	if s.Name() == "" {
+		t.Error("empty stack name")
+	}
+}
+
+func happyPath(t *testing.T, s stack.Instance) {
+	obj := stack.ObjectID{Group: 0, Index: 0}
+	for v := int64(1); v <= 3; v++ {
+		if err := s.Append(0, v, obj, 1000+v); err != nil {
+			t.Fatalf("append v%d: %v", v, err)
+		}
+		if err := s.Commit(0, v); err != nil {
+			t.Fatalf("commit v%d: %v", v, err)
+		}
+		got, err := s.Fetch(0, v, obj)
+		if err != nil {
+			t.Fatalf("fetch v%d: %v", v, err)
+		}
+		if got != 1000+v {
+			t.Fatalf("fetch v%d = %d, want %d", v, got, 1000+v)
+		}
+		if s.Committed(0) != v {
+			t.Fatalf("committed = %d, want %d", s.Committed(0), v)
+		}
+	}
+	// Older versions remain fetchable after newer commits.
+	if _, err := s.Fetch(0, 1, obj); err != nil {
+		t.Fatalf("old version vanished: %v", err)
+	}
+}
+
+func commitOrdering(t *testing.T, s stack.Instance) {
+	obj := stack.ObjectID{}
+	if err := s.Commit(0, 2); err == nil {
+		t.Error("out-of-order commit accepted")
+	}
+	if err := s.Append(0, 1, obj, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(0, 1); err == nil {
+		t.Error("duplicate commit accepted")
+	}
+}
+
+func earlyFetch(t *testing.T, s stack.Instance) {
+	obj := stack.ObjectID{}
+	if err := s.Append(0, 1, obj, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Fetch(0, 1, obj); err == nil {
+		t.Error("fetch before commit succeeded")
+	}
+}
+
+func unknownFetch(t *testing.T, s stack.Instance) {
+	obj := stack.ObjectID{}
+	if err := s.Append(0, 1, obj, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Fetch(0, 1, stack.ObjectID{Group: 9, Index: 9}); err == nil {
+		t.Error("fetch of never-written object succeeded")
+	}
+}
+
+func staleAppend(t *testing.T, s stack.Instance) {
+	obj := stack.ObjectID{}
+	if err := s.Append(0, 1, obj, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(0, 1, obj, 10); err == nil {
+		t.Error("append to committed version accepted")
+	}
+}
+
+func badSize(t *testing.T, s stack.Instance) {
+	if err := s.Append(0, 1, stack.ObjectID{}, 0); err == nil {
+		t.Error("zero-size append accepted")
+	}
+	if err := s.Append(0, 1, stack.ObjectID{}, -5); err == nil {
+		t.Error("negative-size append accepted")
+	}
+}
+
+func rankIsolation(t *testing.T, s stack.Instance) {
+	obj := stack.ObjectID{}
+	if err := s.Append(3, 1, obj, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Committed(5) != 0 {
+		t.Error("rank 5 sees rank 3's commits")
+	}
+	if _, err := s.Fetch(5, 1, obj); err == nil {
+		t.Error("rank 5 fetched rank 3's object")
+	}
+}
+
+func randomized(t *testing.T, s stack.Instance) {
+	rng := rand.New(rand.NewSource(42))
+	const ranks, versions, groups = 4, 8, 3
+	sizes := map[string]int64{}
+	for v := int64(1); v <= versions; v++ {
+		for rank := 0; rank < ranks; rank++ {
+			for g := 0; g < groups; g++ {
+				obj := stack.ObjectID{Group: g, Index: 0}
+				sz := rng.Int63n(1<<20) + 1
+				sizes[key(rank, v, obj)] = sz
+				if err := s.Append(rank, v, obj, sz); err != nil {
+					t.Fatalf("append rank %d v%d g%d: %v", rank, v, g, err)
+				}
+			}
+			if err := s.Commit(rank, v); err != nil {
+				t.Fatalf("commit rank %d v%d: %v", rank, v, err)
+			}
+		}
+	}
+	// Everything written must be fetchable with the right size.
+	for v := int64(1); v <= versions; v++ {
+		for rank := 0; rank < ranks; rank++ {
+			for g := 0; g < groups; g++ {
+				obj := stack.ObjectID{Group: g, Index: 0}
+				got, err := s.Fetch(rank, v, obj)
+				if err != nil {
+					t.Fatalf("fetch rank %d v%d g%d: %v", rank, v, g, err)
+				}
+				if want := sizes[key(rank, v, obj)]; got != want {
+					t.Fatalf("fetch rank %d v%d g%d = %d, want %d", rank, v, g, got, want)
+				}
+			}
+		}
+	}
+}
+
+func key(rank int, v int64, obj stack.ObjectID) string {
+	return fmt.Sprintf("%d/%d/%v", rank, v, obj)
+}

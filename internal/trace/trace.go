@@ -1,0 +1,191 @@
+// Package trace provides the reporting primitives the experiment
+// harness renders results with: plain-text tables with CSV/JSON
+// export, and ASCII bar charts (including the split writer/reader bars
+// the paper uses for serially scheduled workflows).
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a titled grid of string cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; values are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "## %s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := line(t.Columns); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(seps); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// WriteCSV emits the table as CSV (header row first).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON emits the table as a JSON object with title, columns and
+// rows.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}{t.Title, t.Columns, t.Rows})
+}
+
+// Bar is one bar of a chart; Segments stack left to right (the paper's
+// split writer/reader bars use two segments; parallel runs use one).
+type Bar struct {
+	Label    string
+	Segments []float64
+	Note     string
+}
+
+// BarChart renders horizontal ASCII bars scaled to width characters
+// for the longest bar. Segment boundaries are marked with '|', the
+// first segment drawn with '#' and the second with '='.
+func BarChart(w io.Writer, title string, bars []Bar, width int) error {
+	if width <= 0 {
+		width = 50
+	}
+	maxTotal := 0.0
+	maxLabel := 0
+	for _, b := range bars {
+		total := 0.0
+		for _, s := range b.Segments {
+			total += s
+		}
+		if total > maxTotal {
+			maxTotal = total
+		}
+		if len(b.Label) > maxLabel {
+			maxLabel = len(b.Label)
+		}
+	}
+	if title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+			return err
+		}
+	}
+	if maxTotal <= 0 {
+		maxTotal = 1
+	}
+	fills := []byte{'#', '=', '%', '+'}
+	for _, b := range bars {
+		var sb strings.Builder
+		for i, s := range b.Segments {
+			n := int(math.Round(s / maxTotal * float64(width)))
+			if s > 0 && n == 0 {
+				n = 1
+			}
+			if i > 0 && n > 0 {
+				sb.WriteByte('|')
+			}
+			sb.Write(bytesRepeat(fills[i%len(fills)], n))
+		}
+		total := 0.0
+		for _, s := range b.Segments {
+			total += s
+		}
+		note := b.Note
+		if note != "" {
+			note = "  " + note
+		}
+		if _, err := fmt.Fprintf(w, "  %s  %-*s %.3g%s\n", pad(b.Label, maxLabel), width+2, sb.String(), total, note); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func bytesRepeat(b byte, n int) []byte {
+	if n < 0 {
+		n = 0
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}

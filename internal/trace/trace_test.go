@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{Title: "demo", Columns: []string{"name", "value"}}
+	t.AddRow("alpha", 1.5)
+	t.AddRow("beta", "raw")
+	t.AddRow("gamma", 42)
+	return t
+}
+
+func TestTableWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"## demo", "name", "value", "alpha", "1.5", "beta", "raw", "gamma", "42", "-----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns aligned: every data line has the value at the same offset.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 4 {
+		t.Fatalf("%d CSV records", len(records))
+	}
+	if records[0][0] != "name" || records[1][0] != "alpha" {
+		t.Fatalf("CSV content %v", records)
+	}
+}
+
+func TestTableWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Title != "demo" || len(decoded.Rows) != 3 {
+		t.Fatalf("JSON decoded %+v", decoded)
+	}
+}
+
+func TestBarChartSplitBars(t *testing.T) {
+	var buf bytes.Buffer
+	bars := []Bar{
+		{Label: "S-LocW", Segments: []float64{6, 4}, Note: "<- best"},
+		{Label: "P-LocW", Segments: []float64{12}},
+	}
+	if err := BarChart(&buf, "runtime", bars, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "runtime") || !strings.Contains(out, "S-LocW") {
+		t.Fatalf("chart output:\n%s", out)
+	}
+	if !strings.Contains(out, "|") {
+		t.Fatal("split bar has no segment separator")
+	}
+	if !strings.Contains(out, "<- best") {
+		t.Fatal("note missing")
+	}
+	// The 12-unit bar must be the longest.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !(len(lines) >= 3) {
+		t.Fatalf("chart lines %d", len(lines))
+	}
+	count := func(s string, c byte) int {
+		n := 0
+		for i := 0; i < len(s); i++ {
+			if s[i] == c {
+				n++
+			}
+		}
+		return n
+	}
+	sLen := count(lines[1], '#') + count(lines[1], '=')
+	pLen := count(lines[2], '#')
+	if pLen <= sLen {
+		t.Fatalf("longest bar not longest: %d vs %d", pLen, sLen)
+	}
+}
+
+func TestBarChartTinySegmentVisible(t *testing.T) {
+	var buf bytes.Buffer
+	bars := []Bar{{Label: "x", Segments: []float64{1000, 0.001}}}
+	if err := BarChart(&buf, "", bars, 30); err != nil {
+		t.Fatal(err)
+	}
+	// A non-zero segment must render at least one cell.
+	if !strings.Contains(buf.String(), "|=") {
+		t.Fatalf("tiny segment invisible:\n%s", buf.String())
+	}
+}
+
+func TestBarChartEmptyValues(t *testing.T) {
+	var buf bytes.Buffer
+	if err := BarChart(&buf, "t", []Bar{{Label: "zero", Segments: []float64{0}}}, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Must not divide by zero or panic.
+	if !strings.Contains(buf.String(), "zero") {
+		t.Fatal("label missing")
+	}
+}

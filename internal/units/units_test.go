@@ -1,0 +1,107 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestByteConstants(t *testing.T) {
+	if KiB != 1024 || MiB != 1024*1024 || GiB != 1<<30 || TiB != 1<<40 {
+		t.Fatal("byte constants wrong")
+	}
+}
+
+func TestDurationConversion(t *testing.T) {
+	cases := []struct {
+		sec  float64
+		want time.Duration
+	}{
+		{1, time.Second},
+		{0.001, time.Millisecond},
+		{1e-9, time.Nanosecond},
+		{90e-9, 90 * time.Nanosecond},
+		{3600, time.Hour},
+	}
+	for _, c := range cases {
+		if got := Duration(c.sec); got != c.want {
+			t.Errorf("Duration(%g) = %v, want %v", c.sec, got, c.want)
+		}
+	}
+}
+
+func TestDurationSaturates(t *testing.T) {
+	if Duration(1e30) != time.Duration(math.MaxInt64) {
+		t.Error("positive overflow not saturated")
+	}
+	if Duration(-1e30) != time.Duration(math.MinInt64) {
+		t.Error("negative overflow not saturated")
+	}
+}
+
+func TestDurationRoundTripProperty(t *testing.T) {
+	f := func(ms uint32) bool {
+		sec := float64(ms) * 1e-3
+		return math.Abs(Seconds(Duration(sec))-sec) < 1e-9*math.Max(1, sec)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{512, "512 B"},
+		{2 * KiB, "2 KiB"},
+		{64 * MiB, "64 MiB"},
+		{229 * MiB, "229 MiB"},
+		{1 * GiB, "1 GiB"},
+		{1536 * MiB, "1.5 GiB"},
+		{2 * TiB, "2 TiB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.n); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestFormatRate(t *testing.T) {
+	cases := []struct {
+		bps  float64
+		want string
+	}{
+		{39.4 * GBps, "39.4 GB/s"},
+		{13.9 * GBps, "13.9 GB/s"},
+		{500 * MBps, "500 MB/s"},
+		{1200, "1.2 KB/s"},
+		{12, "12 B/s"},
+	}
+	for _, c := range cases {
+		if got := FormatRate(c.bps); got != c.want {
+			t.Errorf("FormatRate(%g) = %q, want %q", c.bps, got, c.want)
+		}
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	cases := []struct {
+		s    float64
+		want string
+	}{
+		{1.234, "1.23 s"},
+		{0.0456, "45.6 ms"},
+		{169e-9, "169 ns"},
+		{2.5e-6, "2.5 µs"},
+		{0, "0 s"},
+	}
+	for _, c := range cases {
+		if got := FormatSeconds(c.s); got != c.want {
+			t.Errorf("FormatSeconds(%g) = %q, want %q", c.s, got, c.want)
+		}
+	}
+}

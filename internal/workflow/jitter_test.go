@@ -1,0 +1,83 @@
+package workflow
+
+import (
+	"testing"
+
+	"pmemsched/internal/platform"
+	"pmemsched/internal/sim"
+	"pmemsched/internal/stack/nova"
+	"pmemsched/internal/units"
+)
+
+func jitterComponent(j float64) ComponentSpec {
+	return ComponentSpec{
+		Name:                "jittered",
+		ComputePerIteration: 1.0,
+		ComputeJitter:       j,
+		Objects:             []ObjectSpec{{Bytes: 4 * units.MiB, CountPerRank: 2}},
+	}
+}
+
+func TestJitterValidation(t *testing.T) {
+	c := jitterComponent(0.5)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c.ComputeJitter = 1.0
+	if err := c.Validate(); err == nil {
+		t.Fatal("jitter 1.0 validated")
+	}
+	c.ComputeJitter = -0.1
+	if err := c.Validate(); err == nil {
+		t.Fatal("negative jitter validated")
+	}
+}
+
+func TestJitteredComputeBounds(t *testing.T) {
+	c := jitterComponent(0.2)
+	for rank := 0; rank < 24; rank++ {
+		for iter := 0; iter < 20; iter++ {
+			v := jitteredCompute(c, rank, iter)
+			if v < 0.8-1e-12 || v > 1.2+1e-12 {
+				t.Fatalf("jittered compute %g outside [0.8, 1.2]", v)
+			}
+		}
+	}
+	// Zero jitter is exact.
+	if jitteredCompute(jitterComponent(0), 3, 5) != 1.0 {
+		t.Fatal("zero jitter altered compute")
+	}
+}
+
+func TestJitterDeterministic(t *testing.T) {
+	c := jitterComponent(0.3)
+	if jitteredCompute(c, 7, 9) != jitteredCompute(c, 7, 9) {
+		t.Fatal("jitter not deterministic")
+	}
+	if jitteredCompute(c, 7, 9) == jitteredCompute(c, 8, 9) {
+		t.Fatal("ranks not decorrelated")
+	}
+}
+
+func TestJitterLengthensBarrierSyncedRuns(t *testing.T) {
+	// With barrier-per-iteration semantics, imbalance makes every
+	// iteration as slow as its slowest rank, so jitter can only extend
+	// the run (statistically) relative to perfect balance.
+	run := func(j float64) float64 {
+		c := jitterComponent(j)
+		p, err := ProfileComponent(c, sim.Write, 8, 6, platform.Testbed(), nova.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.WallSeconds
+	}
+	balanced := run(0)
+	jittered := run(0.2)
+	if jittered <= balanced {
+		t.Fatalf("jittered run %g not slower than balanced %g", jittered, balanced)
+	}
+	// And the penalty is bounded by the jitter amplitude.
+	if jittered > balanced*1.25 {
+		t.Fatalf("jitter penalty implausibly large: %g vs %g", jittered, balanced)
+	}
+}

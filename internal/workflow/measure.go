@@ -1,0 +1,144 @@
+package workflow
+
+import (
+	"fmt"
+
+	"pmemsched/internal/platform"
+	"pmemsched/internal/sim"
+	"pmemsched/internal/stack"
+)
+
+// ComponentProfile is the result of running one workflow component
+// standalone with node-local PMEM — the measurement regime the paper
+// uses to define workflow parameters (§IV-A).
+type ComponentProfile struct {
+	// IOIndex is the paper's characterization metric: I/O time (stack
+	// software cost + device transfer) divided by iteration time, for a
+	// standalone run with local PMEM and no contention from the other
+	// component.
+	IOIndex float64
+	// WallSeconds is the standalone end-to-end runtime.
+	WallSeconds float64
+	// Per-rank mean seconds by activity over the whole run.
+	IOSeconds      float64 // device transfer time (TagIO)
+	SWSeconds      float64 // software + setup latency (TagSW)
+	ComputeSeconds float64 // application compute (TagCompute)
+	// AchievedBps is the aggregate device bandwidth achieved during the
+	// run (total bytes / wall seconds) — the demand signal the
+	// recommender compares against device capacity.
+	AchievedBps float64
+	// IOPhaseBps is the aggregate bandwidth demanded while I/O phases
+	// are actually executing (total bytes / per-rank I/O+SW seconds):
+	// what the device would see if nothing throttled the component.
+	IOPhaseBps float64
+}
+
+// ProfileComponent runs the component standalone — its ranks pinned to
+// socket 0 accessing the local PMEM device — and measures its I/O
+// index and bandwidth demand. The machine must be freshly constructed
+// (device census and core reservations are stateful).
+func ProfileComponent(c ComponentSpec, kind sim.OpKind, ranks, iterations int,
+	m *platform.Machine, st stack.Model) (ComponentProfile, error) {
+	if err := c.Validate(); err != nil {
+		return ComponentProfile{}, err
+	}
+	if ranks <= 0 || iterations <= 0 {
+		return ComponentProfile{}, fmt.Errorf("workflow: profile of %q needs positive ranks (%d) and iterations (%d)",
+			c.Name, ranks, iterations)
+	}
+	if _, err := m.Topology.Socket(0).ReserveCores(ranks); err != nil {
+		return ComponentProfile{}, err
+	}
+	k := sim.New()
+	cfg := CompileConfig{
+		Component:  c,
+		Ranks:      ranks,
+		Iterations: iterations,
+		Placement:  Placement{RankSocket: 0, DeviceSocket: 0},
+		Machine:    m,
+		Stack:      st,
+		Barrier:    sim.NewBarrier(c.Name+".barrier", ranks),
+	}
+	procs := make([]*sim.Proc, ranks)
+	for r := 0; r < ranks; r++ {
+		var prog sim.Program
+		if kind == sim.Write {
+			prog = WriterProgram(cfg, r)
+		} else {
+			prog = ReaderProgram(cfg, r)
+		}
+		procs[r] = k.Spawn(fmt.Sprintf("%s.%d", c.Name, r), prog)
+	}
+	wall, err := k.Run()
+	if err != nil {
+		return ComponentProfile{}, fmt.Errorf("workflow: profiling %q: %w", c.Name, err)
+	}
+	var p ComponentProfile
+	p.WallSeconds = wall
+	for _, proc := range procs {
+		p.IOSeconds += proc.TimeIn(TagIO)
+		p.SWSeconds += proc.TimeIn(TagSW)
+		p.ComputeSeconds += proc.TimeIn(TagCompute)
+	}
+	n := float64(ranks)
+	p.IOSeconds /= n
+	p.SWSeconds /= n
+	p.ComputeSeconds /= n
+	if wall > 0 {
+		p.IOIndex = (p.IOSeconds + p.SWSeconds) / wall
+		totalBytes := float64(c.BytesPerRank()) * n * float64(iterations)
+		p.AchievedBps = totalBytes / wall
+		if ioTime := p.IOSeconds + p.SWSeconds; ioTime > 0 {
+			// Per-rank bytes over per-rank I/O-phase seconds is one
+			// rank's instantaneous demand; all ranks I/O concurrently,
+			// so the aggregate demand scales by the rank count.
+			perRankBytes := float64(c.BytesPerRank()) * float64(iterations)
+			p.IOPhaseBps = perRankBytes / ioTime * n
+		}
+	}
+	return p, nil
+}
+
+// IOLevel buckets an I/O index into the paper's qualitative levels.
+type IOLevel uint8
+
+// Levels follow Table II's vocabulary.
+const (
+	LevelNil IOLevel = iota
+	LevelLow
+	LevelMedium
+	LevelHigh
+)
+
+func (l IOLevel) String() string {
+	switch l {
+	case LevelNil:
+		return "nil"
+	case LevelLow:
+		return "low"
+	case LevelMedium:
+		return "medium"
+	default:
+		return "high"
+	}
+}
+
+// LevelOf buckets a ratio in [0,1] into qualitative levels. The
+// thresholds mirror how the paper labels its workflows: an index below
+// 3% is "nil" (no kernel at all, like the microbenchmark components),
+// below 35% "low", below 55% "medium", else "high". The medium band is
+// deliberately narrow: the paper's own Table II vocabulary uses
+// "medium" sparingly, reserving it for genuinely split iteration
+// cycles.
+func LevelOf(ratio float64) IOLevel {
+	switch {
+	case ratio < 0.03:
+		return LevelNil
+	case ratio < 0.35:
+		return LevelLow
+	case ratio < 0.55:
+		return LevelMedium
+	default:
+		return LevelHigh
+	}
+}

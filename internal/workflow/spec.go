@@ -1,0 +1,160 @@
+// Package workflow models in-situ HPC workflows: a simulation
+// (writer) component coupled to an analytics (reader) component through
+// a PMEM streaming-I/O channel, iterating over versioned snapshots.
+//
+// The package also compiles workflow components into simulation-kernel
+// programs and measures the paper's workflow-characterization metric,
+// the I/O index (§IV-A: the ratio of I/O time to iteration time when a
+// component runs standalone with node-local PMEM).
+package workflow
+
+import (
+	"fmt"
+
+	"pmemsched/internal/units"
+)
+
+// ObjectSpec describes one population of objects within a rank's
+// per-iteration snapshot.
+type ObjectSpec struct {
+	Bytes        int64 // size of each object
+	CountPerRank int   // objects of this population per rank per iteration
+}
+
+// ComponentSpec describes one workflow component (simulation or
+// analytics) independent of rank count: its per-iteration compute
+// phase, any compute interleaved between object accesses, and the
+// snapshot composition it writes or reads.
+type ComponentSpec struct {
+	Name string
+	// ComputePerIteration is the compute-phase duration of each
+	// iteration cycle, in seconds (e.g. the GTC particle push or the
+	// miniAMR stencil sweep; nil/zero for the pure-I/O microbenchmark).
+	ComputePerIteration float64
+	// ComputePerObject is compute interleaved after each object access,
+	// in seconds (e.g. the MatrixMult analytics kernel's per-object
+	// multiplications). Interleaved compute reduces the component's
+	// effective PMEM concurrency — a key lever in the paper's analysis.
+	ComputePerObject float64
+	// ComputeJitter adds deterministic per-rank, per-iteration load
+	// imbalance: each compute phase is scaled by a factor drawn
+	// uniformly (by hash, so runs stay reproducible) from
+	// [1-ComputeJitter, 1+ComputeJitter]. Real BSP applications are
+	// never perfectly balanced; the jitter-robustness experiment uses
+	// this to check that the scheduling conclusions do not depend on
+	// the simulator's perfectly synchronized phases. Must be in [0, 1).
+	ComputeJitter float64
+	// Objects is the per-rank snapshot composition.
+	Objects []ObjectSpec
+}
+
+// BytesPerRank returns the snapshot bytes one rank produces or
+// consumes each iteration.
+func (c ComponentSpec) BytesPerRank() int64 {
+	var total int64
+	for _, o := range c.Objects {
+		total += o.Bytes * int64(o.CountPerRank)
+	}
+	return total
+}
+
+// ObjectsPerRank returns the object count in one rank's snapshot.
+func (c ComponentSpec) ObjectsPerRank() int {
+	var total int
+	for _, o := range c.Objects {
+		total += o.CountPerRank
+	}
+	return total
+}
+
+// Validate reports whether the component spec is well-formed.
+func (c ComponentSpec) Validate() error {
+	if c.ComputePerIteration < 0 || c.ComputePerObject < 0 {
+		return fmt.Errorf("workflow: component %q: negative compute", c.Name)
+	}
+	if c.ComputeJitter < 0 || c.ComputeJitter >= 1 {
+		return fmt.Errorf("workflow: component %q: compute jitter %g outside [0,1)", c.Name, c.ComputeJitter)
+	}
+	if len(c.Objects) == 0 {
+		return fmt.Errorf("workflow: component %q: no objects", c.Name)
+	}
+	for i, o := range c.Objects {
+		if o.Bytes <= 0 || o.CountPerRank <= 0 {
+			return fmt.Errorf("workflow: component %q: object population %d must have positive size and count", c.Name, i)
+		}
+	}
+	return nil
+}
+
+// Spec is a complete workflow: simulation + analytics, both configured
+// with the same number of ranks (the paper's 1:1 exchange) and
+// iterating the same number of times. The analytics component reads
+// exactly the objects the simulation writes; its Objects field is
+// therefore derived from the simulation's at construction.
+type Spec struct {
+	Name       string
+	Simulation ComponentSpec
+	Analytics  ComponentSpec
+	Ranks      int
+	Iterations int
+}
+
+// Validate reports whether the workflow spec is well-formed.
+func (s Spec) Validate() error {
+	if s.Ranks <= 0 {
+		return fmt.Errorf("workflow %q: rank count %d must be positive", s.Name, s.Ranks)
+	}
+	if s.Iterations <= 0 {
+		return fmt.Errorf("workflow %q: iteration count %d must be positive", s.Name, s.Iterations)
+	}
+	if err := s.Simulation.Validate(); err != nil {
+		return fmt.Errorf("workflow %q: %w", s.Name, err)
+	}
+	if err := s.Analytics.Validate(); err != nil {
+		return fmt.Errorf("workflow %q: %w", s.Name, err)
+	}
+	if s.Simulation.BytesPerRank() != s.Analytics.BytesPerRank() {
+		return fmt.Errorf("workflow %q: analytics snapshot (%s) does not match simulation snapshot (%s)",
+			s.Name, units.FormatBytes(s.Analytics.BytesPerRank()), units.FormatBytes(s.Simulation.BytesPerRank()))
+	}
+	return nil
+}
+
+// TotalBytes returns the bytes streamed through PMEM over the whole
+// workflow execution (all ranks, all iterations, one direction).
+func (s Spec) TotalBytes() int64 {
+	return s.Simulation.BytesPerRank() * int64(s.Ranks) * int64(s.Iterations)
+}
+
+// String summarizes the workflow for reports.
+func (s Spec) String() string {
+	return fmt.Sprintf("%s[ranks=%d iters=%d %s/rank-iter]",
+		s.Name, s.Ranks, s.Iterations, units.FormatBytes(s.Simulation.BytesPerRank()))
+}
+
+// Couple builds a workflow from a simulation component and an
+// analytics kernel: the analytics reads exactly the simulation's
+// snapshot composition, with its own compute phases.
+func Couple(name string, sim ComponentSpec, analytics AnalyticsKernel, ranks, iterations int) Spec {
+	a := ComponentSpec{
+		Name:                analytics.Name,
+		ComputePerIteration: analytics.ComputePerIteration,
+		ComputePerObject:    analytics.ComputePerObject,
+		Objects:             append([]ObjectSpec(nil), sim.Objects...),
+	}
+	return Spec{
+		Name:       name,
+		Simulation: sim,
+		Analytics:  a,
+		Ranks:      ranks,
+		Iterations: iterations,
+	}
+}
+
+// AnalyticsKernel describes an analytics component's compute behaviour;
+// its I/O behaviour is always "read the paired writer's snapshot".
+type AnalyticsKernel struct {
+	Name                string
+	ComputePerIteration float64
+	ComputePerObject    float64
+}

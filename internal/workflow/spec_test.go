@@ -1,0 +1,144 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+
+	"pmemsched/internal/units"
+)
+
+func validSim() ComponentSpec {
+	return ComponentSpec{
+		Name:                "sim",
+		ComputePerIteration: 1.0,
+		Objects:             []ObjectSpec{{Bytes: 64 * units.MiB, CountPerRank: 16}},
+	}
+}
+
+func TestComponentAggregates(t *testing.T) {
+	c := ComponentSpec{
+		Objects: []ObjectSpec{
+			{Bytes: 1000, CountPerRank: 3},
+			{Bytes: 50, CountPerRank: 10},
+		},
+	}
+	if got := c.BytesPerRank(); got != 3500 {
+		t.Fatalf("BytesPerRank = %d", got)
+	}
+	if got := c.ObjectsPerRank(); got != 13 {
+		t.Fatalf("ObjectsPerRank = %d", got)
+	}
+}
+
+func TestComponentValidate(t *testing.T) {
+	bad := []ComponentSpec{
+		{Name: "no-objects", ComputePerIteration: 1},
+		{Name: "neg-compute", ComputePerIteration: -1, Objects: []ObjectSpec{{Bytes: 1, CountPerRank: 1}}},
+		{Name: "neg-perobj", ComputePerObject: -1, Objects: []ObjectSpec{{Bytes: 1, CountPerRank: 1}}},
+		{Name: "zero-size", Objects: []ObjectSpec{{Bytes: 0, CountPerRank: 1}}},
+		{Name: "zero-count", Objects: []ObjectSpec{{Bytes: 1, CountPerRank: 0}}},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: validated", c.Name)
+		}
+	}
+	if err := validSim().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+func TestCoupleMatchesSnapshots(t *testing.T) {
+	wf := Couple("wf", validSim(), AnalyticsKernel{Name: "ro"}, 8, 10)
+	if err := wf.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if wf.Analytics.BytesPerRank() != wf.Simulation.BytesPerRank() {
+		t.Fatal("analytics snapshot differs from simulation's")
+	}
+	// The analytics objects are a copy, not an alias.
+	wf.Analytics.Objects[0].Bytes = 1
+	if wf.Simulation.Objects[0].Bytes == 1 {
+		t.Fatal("Couple aliased the simulation's object slice")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	wf := Couple("wf", validSim(), AnalyticsKernel{}, 8, 10)
+	wf.Ranks = 0
+	if err := wf.Validate(); err == nil {
+		t.Error("zero ranks validated")
+	}
+	wf = Couple("wf", validSim(), AnalyticsKernel{}, 8, 0)
+	if err := wf.Validate(); err == nil {
+		t.Error("zero iterations validated")
+	}
+	wf = Couple("wf", validSim(), AnalyticsKernel{}, 8, 10)
+	wf.Analytics.Objects[0].Bytes = 123
+	if err := wf.Validate(); err == nil || !strings.Contains(err.Error(), "snapshot") {
+		t.Errorf("mismatched snapshots validated: %v", err)
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	wf := Couple("wf", validSim(), AnalyticsKernel{}, 8, 10)
+	want := int64(8) * 10 * 16 * 64 * units.MiB
+	if got := wf.TotalBytes(); got != want {
+		t.Fatalf("TotalBytes = %d, want %d", got, want)
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	wf := Couple("demo", validSim(), AnalyticsKernel{}, 8, 10)
+	s := wf.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "ranks=8") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestLevelOf(t *testing.T) {
+	cases := []struct {
+		r    float64
+		want IOLevel
+	}{
+		{0.01, LevelNil},
+		{0.2, LevelLow},
+		{0.5, LevelMedium},
+		{0.9, LevelHigh},
+		{1.0, LevelHigh},
+	}
+	for _, c := range cases {
+		if got := LevelOf(c.r); got != c.want {
+			t.Errorf("LevelOf(%g) = %v, want %v", c.r, got, c.want)
+		}
+	}
+	names := map[IOLevel]string{LevelNil: "nil", LevelLow: "low", LevelMedium: "medium", LevelHigh: "high"}
+	for l, want := range names {
+		if l.String() != want {
+			t.Errorf("%d.String() = %q", l, l.String())
+		}
+	}
+}
+
+func TestErrorSink(t *testing.T) {
+	var s *ErrorSink
+	s.Record(nil) // nil receiver must be safe
+	if s.Err() != nil || s.All() != nil {
+		t.Fatal("nil sink not empty")
+	}
+	sink := &ErrorSink{}
+	sink.Record(nil)
+	if sink.Err() != nil {
+		t.Fatal("nil error recorded")
+	}
+	for i := 0; i < 40; i++ {
+		sink.Record(errTest(i))
+	}
+	if sink.Err() == nil || len(sink.All()) > 16 {
+		t.Fatalf("sink bounds: first=%v n=%d", sink.Err(), len(sink.All()))
+	}
+}
+
+type errTest int
+
+func (e errTest) Error() string { return "err" }

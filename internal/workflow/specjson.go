@@ -1,0 +1,113 @@
+package workflow
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The JSON form of a workflow spec, for describing custom workflows to
+// the CLI tools without recompiling. Durations are in seconds, sizes
+// in bytes:
+//
+//	{
+//	  "name": "climate+tracker",
+//	  "ranks": 16,
+//	  "iterations": 10,
+//	  "simulation": {
+//	    "name": "climate",
+//	    "compute_per_iteration": 0.8,
+//	    "objects": [
+//	      {"bytes": 100663296, "count_per_rank": 2},
+//	      {"bytes": 8192, "count_per_rank": 500}
+//	    ]
+//	  },
+//	  "analytics": {
+//	    "name": "tracker",
+//	    "compute_per_object": 0.0003
+//	  }
+//	}
+//
+// The analytics section carries only compute parameters; its object
+// stream is always the simulation's (the paper's 1:1 exchange).
+type specJSON struct {
+	Name       string        `json:"name"`
+	Ranks      int           `json:"ranks"`
+	Iterations int           `json:"iterations"`
+	Simulation componentJSON `json:"simulation"`
+	Analytics  analyticsJSON `json:"analytics"`
+}
+
+type componentJSON struct {
+	Name                string       `json:"name"`
+	ComputePerIteration float64      `json:"compute_per_iteration,omitempty"`
+	ComputePerObject    float64      `json:"compute_per_object,omitempty"`
+	Objects             []objectJSON `json:"objects"`
+}
+
+type analyticsJSON struct {
+	Name                string  `json:"name"`
+	ComputePerIteration float64 `json:"compute_per_iteration,omitempty"`
+	ComputePerObject    float64 `json:"compute_per_object,omitempty"`
+}
+
+type objectJSON struct {
+	Bytes        int64 `json:"bytes"`
+	CountPerRank int   `json:"count_per_rank"`
+}
+
+// ReadSpec decodes and validates a workflow spec from JSON.
+func ReadSpec(r io.Reader) (Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var sj specJSON
+	if err := dec.Decode(&sj); err != nil {
+		return Spec{}, fmt.Errorf("workflow: decoding spec: %w", err)
+	}
+	sim := ComponentSpec{
+		Name:                sj.Simulation.Name,
+		ComputePerIteration: sj.Simulation.ComputePerIteration,
+		ComputePerObject:    sj.Simulation.ComputePerObject,
+	}
+	for _, o := range sj.Simulation.Objects {
+		sim.Objects = append(sim.Objects, ObjectSpec{Bytes: o.Bytes, CountPerRank: o.CountPerRank})
+	}
+	wf := Couple(sj.Name, sim, AnalyticsKernel{
+		Name:                sj.Analytics.Name,
+		ComputePerIteration: sj.Analytics.ComputePerIteration,
+		ComputePerObject:    sj.Analytics.ComputePerObject,
+	}, sj.Ranks, sj.Iterations)
+	if err := wf.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return wf, nil
+}
+
+// WriteSpec encodes a workflow spec as JSON (the inverse of ReadSpec;
+// analytics objects are omitted because they mirror the simulation's).
+func WriteSpec(w io.Writer, wf Spec) error {
+	if err := wf.Validate(); err != nil {
+		return err
+	}
+	sj := specJSON{
+		Name:       wf.Name,
+		Ranks:      wf.Ranks,
+		Iterations: wf.Iterations,
+		Simulation: componentJSON{
+			Name:                wf.Simulation.Name,
+			ComputePerIteration: wf.Simulation.ComputePerIteration,
+			ComputePerObject:    wf.Simulation.ComputePerObject,
+		},
+		Analytics: analyticsJSON{
+			Name:                wf.Analytics.Name,
+			ComputePerIteration: wf.Analytics.ComputePerIteration,
+			ComputePerObject:    wf.Analytics.ComputePerObject,
+		},
+	}
+	for _, o := range wf.Simulation.Objects {
+		sj.Simulation.Objects = append(sj.Simulation.Objects, objectJSON{Bytes: o.Bytes, CountPerRank: o.CountPerRank})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sj)
+}

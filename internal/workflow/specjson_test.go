@@ -1,0 +1,91 @@
+package workflow
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleSpecJSON = `{
+  "name": "climate+tracker",
+  "ranks": 16,
+  "iterations": 10,
+  "simulation": {
+    "name": "climate",
+    "compute_per_iteration": 0.8,
+    "objects": [
+      {"bytes": 100663296, "count_per_rank": 2},
+      {"bytes": 8192, "count_per_rank": 500}
+    ]
+  },
+  "analytics": {
+    "name": "tracker",
+    "compute_per_object": 0.0003
+  }
+}`
+
+func TestReadSpec(t *testing.T) {
+	wf, err := ReadSpec(strings.NewReader(sampleSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wf.Name != "climate+tracker" || wf.Ranks != 16 || wf.Iterations != 10 {
+		t.Fatalf("decoded %s", wf)
+	}
+	if len(wf.Simulation.Objects) != 2 {
+		t.Fatalf("%d object populations", len(wf.Simulation.Objects))
+	}
+	if wf.Analytics.ComputePerObject != 0.0003 {
+		t.Fatalf("analytics compute %g", wf.Analytics.ComputePerObject)
+	}
+	// Analytics snapshot mirrors the simulation's.
+	if wf.Analytics.BytesPerRank() != wf.Simulation.BytesPerRank() {
+		t.Fatal("analytics objects not derived from simulation")
+	}
+}
+
+func TestReadSpecRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{`, // syntax
+		`{"name":"x","ranks":0,"iterations":1,"simulation":{"name":"s","objects":[{"bytes":1,"count_per_rank":1}]},"analytics":{"name":"a"}}`,              // zero ranks
+		`{"name":"x","ranks":2,"iterations":1,"simulation":{"name":"s","objects":[]},"analytics":{"name":"a"}}`,                                            // no objects
+		`{"name":"x","ranks":2,"iterations":1,"simulation":{"name":"s","objects":[{"bytes":-5,"count_per_rank":1}]},"analytics":{"name":"a"}}`,             // bad size
+		`{"name":"x","bogus":true,"ranks":2,"iterations":1,"simulation":{"name":"s","objects":[{"bytes":1,"count_per_rank":1}]},"analytics":{"name":"a"}}`, // unknown field
+	}
+	for i, c := range cases {
+		if _, err := ReadSpec(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d decoded", i)
+		}
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	orig, err := ReadSpec(strings.NewReader(sampleSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSpec(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSpec(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name || back.Ranks != orig.Ranks || back.Iterations != orig.Iterations {
+		t.Fatal("round trip changed header fields")
+	}
+	if back.Simulation.BytesPerRank() != orig.Simulation.BytesPerRank() {
+		t.Fatal("round trip changed snapshot")
+	}
+	if back.Analytics.ComputePerObject != orig.Analytics.ComputePerObject {
+		t.Fatal("round trip changed analytics")
+	}
+}
+
+func TestWriteSpecRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSpec(&buf, Spec{Name: "broken"}); err == nil {
+		t.Fatal("invalid spec encoded")
+	}
+}

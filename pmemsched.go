@@ -1,0 +1,267 @@
+// Package pmemsched is a simulation-based reproduction of "Scheduling
+// HPC Workflows with Intel Optane Persistent Memory" (Venkatesh, Mason,
+// Fernando, Eisenhauer, Gavrilovska — IPDPS Workshops 2021).
+//
+// It models a dual-socket PMEM server (calibrated to first-generation
+// Optane DC Persistent Memory), two PMEM storage stacks (the NOVA
+// kernel filesystem and the NVStream userspace object store), and
+// in-situ simulation+analytics workflows streaming versioned snapshots
+// through PMEM. On top of the simulator it implements the paper's
+// contribution: the four-way scheduling configuration space
+// (Serial/Parallel execution × local-write/local-read placement), the
+// workflow classifier, the Table II recommendation rules, and an
+// auto-scheduler realizing the paper's stated future work.
+//
+// Quick start:
+//
+//	wf := pmemsched.GTCReadOnly(16)
+//	out, err := pmemsched.AutoSchedule(wf, pmemsched.DefaultEnv(), true)
+//	// out.Recommendation.Config — what Table II picked
+//	// out.Regret — how far from the oracle's best it landed
+//
+// The cmd/wfsuite binary regenerates every table and figure of the
+// paper's evaluation; cmd/recommend classifies and recommends for a
+// workflow described on the command line; cmd/pmemchar prints the
+// calibrated device curves; cmd/calibrate re-runs the calibration
+// search.
+package pmemsched
+
+import (
+	"io"
+
+	"pmemsched/internal/core"
+	"pmemsched/internal/experiments"
+	"pmemsched/internal/numa"
+	"pmemsched/internal/platform"
+	"pmemsched/internal/pmem"
+	"pmemsched/internal/sim"
+	"pmemsched/internal/workflow"
+	"pmemsched/internal/workloads"
+)
+
+// Scheduling configuration space (paper Table I).
+type (
+	// Config is one scheduling configuration: execution mode ×
+	// placement.
+	Config = core.Config
+	// Mode is the Serial/Parallel execution dimension.
+	Mode = core.Mode
+	// Placement is the PMEM-locality dimension.
+	Placement = core.Placement
+)
+
+// The four configurations of Table I.
+var (
+	SLocW = core.SLocW
+	SLocR = core.SLocR
+	PLocW = core.PLocW
+	PLocR = core.PLocR
+	// Configs lists all four in Table I order.
+	Configs = core.Configs
+)
+
+// Execution-mode and placement constants.
+const (
+	Serial   = core.Serial
+	Parallel = core.Parallel
+	LocW     = core.LocW
+	LocR     = core.LocR
+)
+
+// ParseConfig converts a label like "S-LocW" into a Config.
+func ParseConfig(label string) (Config, error) { return core.ParseConfig(label) }
+
+// Workflow modeling.
+type (
+	// Workflow is a coupled simulation+analytics pipeline.
+	Workflow = workflow.Spec
+	// Component describes one workflow component's iteration cycle and
+	// snapshot composition.
+	Component = workflow.ComponentSpec
+	// ObjectSpec is one object population within a snapshot.
+	ObjectSpec = workflow.ObjectSpec
+	// AnalyticsKernel describes an analytics component's compute.
+	AnalyticsKernel = workflow.AnalyticsKernel
+)
+
+// Couple builds a workflow from a simulation component and an
+// analytics kernel reading its snapshots (the paper's 1:1 exchange).
+func Couple(name string, sim Component, analytics AnalyticsKernel, ranks, iterations int) Workflow {
+	return workflow.Couple(name, sim, analytics, ranks, iterations)
+}
+
+// ReadWorkflow decodes and validates a workflow spec from JSON (see
+// internal/workflow's documented schema; cmd/wfrun -spec uses this).
+func ReadWorkflow(r io.Reader) (Workflow, error) { return workflow.ReadSpec(r) }
+
+// WriteWorkflow encodes a workflow spec as JSON.
+func WriteWorkflow(w io.Writer, wf Workflow) error { return workflow.WriteSpec(w, wf) }
+
+// Execution environment and results.
+type (
+	// Env supplies the simulated platform and storage stack.
+	Env = core.Env
+	// Result is the measured outcome of one run.
+	Result = core.Result
+	// PhaseBreakdown is per-rank mean time by activity.
+	PhaseBreakdown = core.PhaseBreakdown
+)
+
+// DefaultEnv returns the paper's evaluation environment: dual-socket
+// 28-core Xeon, Gen-1 Optane per socket, NOVA as the transport.
+func DefaultEnv() Env { return core.DefaultEnv() }
+
+// Run executes a workflow under one configuration.
+func Run(wf Workflow, cfg Config, env Env) (Result, error) { return core.Run(wf, cfg, env) }
+
+// Tracer is the kernel stage-timeline collector (see RunWithTrace).
+type Tracer = sim.Tracer
+
+// RunWithTrace executes like Run and, when traced, also returns the
+// kernel timeline (exportable to the Chrome trace viewer).
+func RunWithTrace(wf Workflow, cfg Config, env Env, traced bool) (Result, *Tracer, error) {
+	return core.RunWithTrace(wf, cfg, env, traced)
+}
+
+// RunAll executes a workflow under every configuration.
+func RunAll(wf Workflow, env Env) ([]Result, error) { return core.RunAll(wf, env) }
+
+// Best returns the fastest result.
+func Best(results []Result) Result { return core.Best(results) }
+
+// Scheduling: classification, recommendation, oracle, auto-scheduling.
+type (
+	// Features is the Table II workflow characterization.
+	Features = core.Features
+	// Recommendation is the rule engine's output.
+	Recommendation = core.Recommendation
+	// RuleRow is one row of Table II.
+	RuleRow = core.RuleRow
+	// OracleDecision is the exhaustive-search answer.
+	OracleDecision = core.OracleDecision
+	// ScheduleOutcome is one end-to-end auto-scheduling decision.
+	ScheduleOutcome = core.ScheduleOutcome
+)
+
+// TableII returns the paper's recommendation table as data.
+func TableII() []RuleRow { return core.TableII() }
+
+// Classify profiles a workflow's components standalone and buckets
+// them into Table II's feature vocabulary.
+func Classify(wf Workflow, env Env) (Features, error) { return core.Classify(wf, env) }
+
+// Recommend applies the Table II rules to a feature tuple.
+func Recommend(f Features) (Recommendation, error) { return core.Recommend(f) }
+
+// RecommendWorkflow classifies and recommends in one step.
+func RecommendWorkflow(wf Workflow, env Env) (Recommendation, error) {
+	return core.RecommendWorkflow(wf, env)
+}
+
+// Oracle runs all four configurations and returns the best.
+func Oracle(wf Workflow, env Env) (OracleDecision, error) { return core.Oracle(wf, env) }
+
+// AutoSchedule profiles, classifies, recommends and executes; with
+// verify it also reports the regret versus the oracle.
+func AutoSchedule(wf Workflow, env Env, verify bool) (ScheduleOutcome, error) {
+	return core.AutoSchedule(wf, env, verify)
+}
+
+// Batch scheduling.
+type (
+	// QueuePlan is a batch-scheduling outcome: per-workflow decisions,
+	// makespan, and fixed-policy comparisons.
+	QueuePlan = core.QueuePlan
+	// QueueItem is one scheduled workflow within a plan.
+	QueueItem = core.QueueItem
+)
+
+// ScheduleQueue plans and executes a queue of workflows, choosing each
+// one's configuration from Table II, and compares the makespan against
+// every fixed single-configuration policy.
+func ScheduleQueue(queue []Workflow, env Env) (QueuePlan, error) {
+	return core.ScheduleQueue(queue, env)
+}
+
+// Generalized placement (beyond the paper's two-socket Fig 2 space).
+type (
+	// Deployment places components and the PMEM channel on concrete
+	// sockets.
+	Deployment = core.Deployment
+	// PlacementDecision is an exhaustive deployment-space search result.
+	PlacementDecision = core.PlacementDecision
+)
+
+// RunDeployment executes a workflow under an explicit deployment.
+func RunDeployment(wf Workflow, dep Deployment, env Env, traced bool) (Result, *Tracer, error) {
+	return core.RunDeployment(wf, dep, env, traced)
+}
+
+// PlacementOracle searches every deployment of an N-socket machine.
+func PlacementOracle(wf Workflow, env Env, sockets int) (PlacementDecision, error) {
+	return core.PlacementOracle(wf, env, sockets)
+}
+
+// Workload suite (paper §IV).
+
+// Suite returns all 18 evaluation workloads.
+func Suite() []Workflow { return workloads.Suite() }
+
+// MicroWorkflow builds the streaming microbenchmark (1 GiB per rank
+// per iteration) with the given object size.
+func MicroWorkflow(objBytes int64, ranks int) Workflow {
+	return workloads.MicroWorkflow(objBytes, ranks)
+}
+
+// GTCReadOnly builds "GTC + Read only" (Fig 6).
+func GTCReadOnly(ranks int) Workflow { return workloads.GTCReadOnly(ranks) }
+
+// GTCMatrixMult builds "GTC + matrixmult" (Fig 7).
+func GTCMatrixMult(ranks int) Workflow { return workloads.GTCMatrixMult(ranks) }
+
+// MiniAMRReadOnly builds "miniAMR + Read only" (Fig 8).
+func MiniAMRReadOnly(ranks int) Workflow { return workloads.MiniAMRReadOnly(ranks) }
+
+// MiniAMRMatrixMult builds "miniAMR + matrixmult" (Fig 9).
+func MiniAMRMatrixMult(ranks int) Workflow { return workloads.MiniAMRMatrixMult(ranks) }
+
+// Microbenchmark object sizes (§IV-B).
+const (
+	MicroObjectSmall = workloads.MicroObjectSmall
+	MicroObjectLarge = workloads.MicroObjectLarge
+)
+
+// Platform and device models (for custom environments and ablations).
+type (
+	// Machine is the simulated server.
+	Machine = platform.Machine
+	// DeviceModel is the PMEM calibration constant set.
+	DeviceModel = pmem.Model
+	// TopologyConfig parameterizes the NUMA layout.
+	TopologyConfig = numa.Config
+)
+
+// Gen1Optane returns the calibrated first-generation Optane model.
+func Gen1Optane() DeviceModel { return pmem.Gen1Optane() }
+
+// TestbedConfig returns the paper's dual-socket topology.
+func TestbedConfig() TopologyConfig { return numa.TestbedConfig() }
+
+// NewMachine assembles a machine from a topology and device model.
+func NewMachine(cfg TopologyConfig, model DeviceModel) *Machine {
+	return platform.New(cfg, model)
+}
+
+// Experiments (one per paper table/figure).
+type (
+	// Experiment regenerates one paper artifact.
+	Experiment = experiments.Experiment
+	// ExperimentReport is an experiment's output and claim checks.
+	ExperimentReport = experiments.Report
+)
+
+// Experiments returns every experiment in paper order.
+func Experiments() []Experiment { return experiments.All() }
+
+// ExperimentByID looks an experiment up ("fig4", "tab2", ...).
+func ExperimentByID(id string) (Experiment, error) { return experiments.ByID(id) }

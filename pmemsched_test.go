@@ -1,0 +1,98 @@
+package pmemsched_test
+
+import (
+	"testing"
+
+	"pmemsched"
+)
+
+func TestFacadeRoundTrip(t *testing.T) {
+	wf := pmemsched.GTCReadOnly(8)
+	env := pmemsched.DefaultEnv()
+
+	results, err := pmemsched.RunAll(wf, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(pmemsched.Configs) {
+		t.Fatalf("%d results", len(results))
+	}
+	best := pmemsched.Best(results)
+	if best.TotalSeconds <= 0 {
+		t.Fatal("no runtime")
+	}
+
+	dec, err := pmemsched.Oracle(wf, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Best.Config != best.Config {
+		t.Fatalf("oracle best %s != Best %s", dec.Best.Config, best.Config)
+	}
+	norm := dec.Normalized()
+	if norm[dec.Best.Config] != 1.0 {
+		t.Fatal("best not normalized to 1.0")
+	}
+	for cfg, v := range norm {
+		if v < 1.0 {
+			t.Fatalf("%s normalized %g < 1", cfg, v)
+		}
+	}
+}
+
+func TestFacadeParseConfig(t *testing.T) {
+	cfg, err := pmemsched.ParseConfig("P-LocR")
+	if err != nil || cfg != pmemsched.PLocR {
+		t.Fatalf("ParseConfig: %v %v", cfg, err)
+	}
+}
+
+func TestFacadeCoupleAndAutoSchedule(t *testing.T) {
+	sim := pmemsched.Component{
+		Name:                "custom",
+		ComputePerIteration: 0.2,
+		Objects:             []pmemsched.ObjectSpec{{Bytes: 16 << 20, CountPerRank: 4}},
+	}
+	wf := pmemsched.Couple("custom+ro", sim, pmemsched.AnalyticsKernel{Name: "ro"}, 8, 3)
+	out, err := pmemsched.AutoSchedule(wf, pmemsched.DefaultEnv(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Recommendation.Row.ID < 1 || out.Recommendation.Row.ID > 10 {
+		t.Fatalf("rule row %d", out.Recommendation.Row.ID)
+	}
+	if out.Regret < 0 {
+		t.Fatalf("negative regret %g", out.Regret)
+	}
+	if out.Chosen.TotalSeconds <= 0 {
+		t.Fatal("no chosen runtime")
+	}
+}
+
+func TestFacadeSuiteAndTables(t *testing.T) {
+	if got := len(pmemsched.Suite()); got != 18 {
+		t.Fatalf("suite size %d", got)
+	}
+	if got := len(pmemsched.TableII()); got != 10 {
+		t.Fatalf("Table II rows %d", got)
+	}
+	if got := len(pmemsched.Experiments()); got < 13 {
+		t.Fatalf("experiments %d", got)
+	}
+	if _, err := pmemsched.ExperimentByID("fig10"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeCustomMachine(t *testing.T) {
+	cfg := pmemsched.TestbedConfig()
+	model := pmemsched.Gen1Optane()
+	m := pmemsched.NewMachine(cfg, model)
+	env := pmemsched.Env{NewMachine: func() *pmemsched.Machine { return pmemsched.NewMachine(cfg, model) }}
+	if m == nil {
+		t.Fatal("nil machine")
+	}
+	if _, err := pmemsched.Run(pmemsched.MiniAMRReadOnly(8), pmemsched.SLocW, env); err != nil {
+		t.Fatal(err)
+	}
+}
