@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"pmemsched"
@@ -25,11 +26,12 @@ func main() {
 	ranks := flag.Int("ranks", 16, "ranks per component")
 	verify := flag.Bool("verify", false, "run the oracle and report regret")
 	suite := flag.Bool("suite", false, "run the whole 18-workload suite")
+	parallel := flag.Int("parallel", 0, "run-engine worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	env := pmemsched.DefaultEnv()
+	rt := pmemsched.NewRunner(pmemsched.DefaultEnv(), *parallel)
 	if *suite {
-		runSuite(env, *verify)
+		runSuite(rt, *verify)
 		return
 	}
 
@@ -46,7 +48,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "recommend:", err)
 			os.Exit(2)
 		}
-		report(wf, env, *verify)
+		report(wf, rt, *verify)
 		return
 	}
 	switch *name {
@@ -67,11 +69,21 @@ func main() {
 		os.Exit(2)
 	}
 
-	report(wf, env, *verify)
+	report(wf, rt, *verify)
 }
 
-func report(wf pmemsched.Workflow, env pmemsched.Env, verify bool) {
-	out, err := pmemsched.AutoSchedule(wf, env, verify)
+// fmtRegret renders a regret fraction; NaN means the regret is
+// undefined (unmeasured configuration or zero-work oracle) and must
+// never read as 0%.
+func fmtRegret(r float64) string {
+	if math.IsNaN(r) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", r*100)
+}
+
+func report(wf pmemsched.Workflow, rt *pmemsched.Runner, verify bool) {
+	out, err := rt.AutoSchedule(wf, verify)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "recommend:", err)
 		os.Exit(1)
@@ -85,14 +97,14 @@ func report(wf pmemsched.Workflow, env pmemsched.Env, verify bool) {
 	if verify {
 		fmt.Printf("oracle:    %s (%s)\n", out.Oracle.Best.Config.Label(),
 			units.FormatSeconds(out.Oracle.Best.TotalSeconds))
-		fmt.Printf("regret:    %.1f%%\n", out.Regret*100)
+		fmt.Printf("regret:    %s\n", fmtRegret(out.Regret))
 	}
 }
 
-func runSuite(env pmemsched.Env, verify bool) {
+func runSuite(rt *pmemsched.Runner, verify bool) {
 	matched, total := 0, 0
 	for _, wf := range pmemsched.Suite() {
-		out, err := pmemsched.AutoSchedule(wf, env, verify)
+		out, err := rt.AutoSchedule(wf, verify)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "recommend:", err)
 			os.Exit(1)
@@ -105,7 +117,11 @@ func runSuite(env pmemsched.Env, verify bool) {
 			if ok {
 				matched++
 			}
-			line += fmt.Sprintf("  oracle %-7s regret %5.1f%%", out.Oracle.Best.Config.Label(), out.Regret*100)
+			if math.IsNaN(out.Regret) {
+				line += fmt.Sprintf("  oracle %-7s regret   n/a", out.Oracle.Best.Config.Label())
+			} else {
+				line += fmt.Sprintf("  oracle %-7s regret %5.1f%%", out.Oracle.Best.Config.Label(), out.Regret*100)
+			}
 		}
 		fmt.Println(line)
 	}

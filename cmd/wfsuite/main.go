@@ -8,6 +8,8 @@
 //	wfsuite -only fig4,tab2 # run a subset
 //	wfsuite -list           # list experiment IDs
 //	wfsuite -stack nvstream # run on NVStream instead of NOVA
+//	wfsuite -parallel 8     # size of the run engine's worker pool
+//	wfsuite -stats          # print run-engine cache stats to stderr
 package main
 
 import (
@@ -28,6 +30,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	stackName := flag.String("stack", "nova", "storage stack: nova or nvstream")
 	format := flag.String("format", "text", "output format: text, csv or json")
+	parallel := flag.Int("parallel", 0, "run-engine worker pool size (0 = GOMAXPROCS)")
+	stats := flag.Bool("stats", false, "print run-engine cache statistics to stderr")
 	flag.Parse()
 
 	if *list {
@@ -57,9 +61,14 @@ func main() {
 		}
 	}
 
+	// One engine for the whole suite: experiments share a worker pool
+	// and a result cache, so e.g. fig4-10, tab2 and gen2 reuse each
+	// other's suite runs instead of recomputing them.
+	rt := pmemsched.NewRunner(env, *parallel)
+
 	okTotal, checkTotal := 0, 0
 	for _, e := range selected {
-		rep, err := e.Run(env)
+		rep, err := e.Run(rt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wfsuite: %s: %v\n", e.ID, err)
 			os.Exit(1)
@@ -88,6 +97,11 @@ func main() {
 	// miniAMR+MatrixMult placement rows); the pinned outcomes are
 	// enforced by the calibration acceptance tests instead of an exit
 	// code here.
+	if *stats {
+		s := rt.Stats()
+		fmt.Fprintf(os.Stderr, "wfsuite: run engine: %d runs (%d cache hits, %d misses, %d in-flight joins), %d workers\n",
+			s.Runs(), s.Hits, s.Misses, s.Inflight, rt.Workers())
+	}
 }
 
 func envFor(name string) (core.Env, error) {

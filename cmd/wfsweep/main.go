@@ -9,6 +9,7 @@
 //	wfsweep -sizes 2048,65536,4194304 -ranks 4,8,16,24
 //	wfsweep -compute 0,0.5,1,2 -size 67108864 -ranksfix 16
 //	wfsweep -format csv
+//	wfsweep -parallel 8   # size of the run engine's worker pool
 package main
 
 import (
@@ -33,16 +34,17 @@ func main() {
 	sizeFix := flag.Int64("size", 64<<20, "object size for the compute sweep")
 	ranksFix := flag.Int("ranksfix", 16, "rank count for the compute sweep")
 	format := flag.String("format", "text", "output format: text or csv")
+	parallel := flag.Int("parallel", 0, "run-engine worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	env := pmemsched.DefaultEnv()
+	rt := pmemsched.NewRunner(pmemsched.DefaultEnv(), *parallel)
 
 	var t *trace.Table
 	var err error
 	if *computeArg != "" {
-		t, err = computeSweep(env, parseFloats(*computeArg), *sizeFix, *ranksFix)
+		t, err = computeSweep(rt, parseFloats(*computeArg), *sizeFix, *ranksFix)
 	} else {
-		t, err = sizeSweep(env, parseInts64(*sizesArg), parseInts(*ranksArg))
+		t, err = sizeSweep(rt, parseInts64(*sizesArg), parseInts(*ranksArg))
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wfsweep:", err)
@@ -62,7 +64,7 @@ func main() {
 	}
 }
 
-func sizeSweep(env core.Env, sizes []int64, ranks []int) (*trace.Table, error) {
+func sizeSweep(rt *core.Runner, sizes []int64, ranks []int) (*trace.Table, error) {
 	cols := []string{"object size"}
 	for _, r := range ranks {
 		cols = append(cols, fmt.Sprintf("%dr", r))
@@ -71,7 +73,7 @@ func sizeSweep(env core.Env, sizes []int64, ranks []int) (*trace.Table, error) {
 	for _, size := range sizes {
 		row := []any{units.FormatBytes(size)}
 		for _, r := range ranks {
-			dec, err := core.Oracle(workloads.MicroWorkflow(size, r), env)
+			dec, err := rt.Oracle(workloads.MicroWorkflow(size, r))
 			if err != nil {
 				return nil, err
 			}
@@ -82,7 +84,7 @@ func sizeSweep(env core.Env, sizes []int64, ranks []int) (*trace.Table, error) {
 	return t, nil
 }
 
-func computeSweep(env core.Env, computes []float64, size int64, ranks int) (*trace.Table, error) {
+func computeSweep(rt *core.Runner, computes []float64, size int64, ranks int) (*trace.Table, error) {
 	t := &trace.Table{
 		Title:   fmt.Sprintf("oracle-best vs simulation compute (%s objects, %d ranks)", units.FormatBytes(size), ranks),
 		Columns: []string{"compute/iter", "sim I/O index", "best", "S-LocW", "S-LocR", "P-LocW", "P-LocR"},
@@ -91,11 +93,11 @@ func computeSweep(env core.Env, computes []float64, size int64, ranks int) (*tra
 		sim := workloads.Micro(size)
 		sim.ComputePerIteration = c
 		wf := workflow.Couple(fmt.Sprintf("sweep-c%g", c), sim, workloads.ReadOnly(), ranks, workloads.Iterations)
-		dec, err := core.Oracle(wf, env)
+		dec, err := rt.Oracle(wf)
 		if err != nil {
 			return nil, err
 		}
-		f, err := core.Classify(wf, env)
+		f, err := rt.Classify(wf)
 		if err != nil {
 			return nil, err
 		}

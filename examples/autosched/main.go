@@ -59,7 +59,10 @@ func main() {
 	fmt.Printf("scheduled %s: %.2fs\n", out.Recommendation.Config.Label(), out.Chosen.TotalSeconds)
 	fmt.Printf("oracle best %s: %.2fs\n", out.Oracle.Best.Config.Label(), out.Oracle.Best.TotalSeconds)
 	fmt.Printf("regret of the rule-based choice: %.1f%%\n", out.Regret*100)
-	for cfg, norm := range out.Oracle.Normalized() {
-		fmt.Printf("  %-7s %.2fx\n", cfg.Label(), norm)
+	// Print in Table I order — ranging over the Normalized map directly
+	// would shuffle the lines from run to run.
+	norm := out.Oracle.Normalized()
+	for _, cfg := range pmemsched.Configs {
+		fmt.Printf("  %-7s %.2fx\n", cfg.Label(), norm[cfg])
 	}
 }

@@ -13,7 +13,11 @@ import (
 )
 
 func main() {
-	env := pmemsched.DefaultEnv()
+	// The run engine plans the queue: profiling and the per-(workflow,
+	// configuration) executions run concurrently on its worker pool, and
+	// the memoized recommended runs are shared with the fixed-policy
+	// comparison.
+	rt := pmemsched.NewRunner(pmemsched.DefaultEnv(), 0)
 	queue := []pmemsched.Workflow{
 		pmemsched.MicroWorkflow(pmemsched.MicroObjectLarge, 24), // bandwidth-bound streamer
 		pmemsched.GTCReadOnly(8),                                // compute-heavy, low concurrency
@@ -22,7 +26,7 @@ func main() {
 		pmemsched.GTCMatrixMult(16),                             // large objects + compute analytics
 	}
 
-	plan, err := pmemsched.ScheduleQueue(queue, env)
+	plan, err := rt.ScheduleQueue(queue)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,4 +45,8 @@ func main() {
 	bestCfg, bestFixed := plan.BestFixed()
 	fmt.Printf("\nbest fixed policy: %s (%.2fs)\n", bestCfg.Label(), bestFixed)
 	fmt.Printf("adaptive saving vs best fixed: %.1f%%\n", plan.Saving()*100)
+
+	s := rt.Stats()
+	fmt.Printf("engine: %d distinct runs for %d requests (%d served from cache)\n",
+		s.Misses, s.Runs(), s.Hits+s.Inflight)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"testing"
 
 	"pmemsched/internal/workloads"
@@ -63,9 +64,10 @@ func TestOracleNormalization(t *testing.T) {
 			t.Errorf("%s regret inconsistent with normalization", cfg)
 		}
 	}
-	// Unknown config regret is zero by contract.
-	if dec.Regret(Config{Mode: 9, Placement: 9}) != 0 {
-		t.Error("unknown config regret not zero")
+	// Unknown config regret is undefined by contract — NaN, never a
+	// silent "optimal".
+	if !math.IsNaN(dec.Regret(Config{Mode: 9, Placement: 9})) {
+		t.Error("unknown config regret not NaN")
 	}
 }
 

@@ -23,6 +23,12 @@ type Env struct {
 	// stack behind the paper's headline small-object observations; see
 	// §VII and the stack-comparison experiment for NVStream).
 	NewStack func() stack.Instance
+	// Tag optionally distinguishes environments whose structural cache
+	// fingerprints coincide (same topology, device model, and probed
+	// stack costs) but whose behaviour differs — e.g. a fault-injecting
+	// stack wrapping a stock one. The run engine folds it into every
+	// cache key; plain environments can leave it empty.
+	Tag string
 }
 
 // DefaultEnv returns the paper's evaluation environment: the hardware
@@ -272,17 +278,11 @@ func breakdown(procs []*sim.Proc) PhaseBreakdown {
 }
 
 // RunAll executes the workflow under every configuration of Table I
-// and returns the results in Configs order.
+// and returns the results in Configs order. It runs on a fresh run
+// engine (worker pool of GOMAXPROCS); results are identical to serial
+// execution.
 func RunAll(wf workflow.Spec, env Env) ([]Result, error) {
-	out := make([]Result, 0, len(Configs))
-	for _, cfg := range Configs {
-		r, err := Run(wf, cfg, env)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return NewRunner(env, 0).RunAll(wf)
 }
 
 // Best returns the result with the smallest total runtime (ties break

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"pmemsched/internal/workflow"
+)
+
+// Content-keyed fingerprints for the run engine's result cache. A cache
+// key identifies everything that determines a run's outcome: the
+// workflow spec, the deployment, and the environment (machine topology,
+// device model, storage-stack cost model). Two runs with equal keys are
+// guaranteed to produce identical Results because the simulation is
+// deterministic and every run gets a fresh machine and stack.
+
+// stackProbeSizes sample the stack cost model for fingerprinting. The
+// provided stacks' costs are affine in object size, so two probe points
+// per curve pin the model exactly; the extra sizes also capture
+// access-size granularity switches (e.g. NOVA's block rounding).
+var stackProbeSizes = []int64{1, 512, 4 << 10, 64 << 10, 1 << 20, 64 << 20}
+
+// fingerprint derives the environment's cache identity by building one
+// machine and one stack instance and hashing their observable
+// parameters. Environments that construct structurally identical
+// machines and stacks share cache entries; environments that differ in
+// behaviour but not in probed structure (e.g. a fault-injecting stack
+// wrapping a stock one) must set Env.Tag to stay distinct.
+func (e Env) fingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "tag=%s|", e.Tag)
+	m := e.machine()
+	fmt.Fprintf(h, "sockets=%d|upi=%v|", len(m.Topology.Sockets), m.Topology.UPI.Capacity())
+	for _, s := range m.Topology.Sockets {
+		fmt.Fprintf(h, "s%d{cores=%d dram=%v}|", s.ID, s.Cores, s.DRAM.Capacity())
+	}
+	for i, d := range m.PMEM {
+		// The device model is a plain struct of calibration constants;
+		// %v renders every field with round-trip float precision.
+		fmt.Fprintf(h, "pmem%d=%v|", i, d.Model())
+	}
+	st := e.stack()
+	fmt.Fprintf(h, "stack=%s|", st.Name())
+	for _, size := range stackProbeSizes {
+		fmt.Fprintf(h, "c%d={w=%v r=%v a=%d}|", size, st.WriteCost(size), st.ReadCost(size), st.AccessSize(size))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// writeSpecFingerprint serializes every Result-affecting field of the
+// spec in a fixed order (including Name, which Results carry verbatim).
+func writeSpecFingerprint(w io.Writer, s workflow.Spec) {
+	fmt.Fprintf(w, "wf=%q ranks=%d iters=%d|", s.Name, s.Ranks, s.Iterations)
+	writeComponentFingerprint(w, "sim", s.Simulation)
+	writeComponentFingerprint(w, "ana", s.Analytics)
+}
+
+func writeComponentFingerprint(w io.Writer, role string, c workflow.ComponentSpec) {
+	fmt.Fprintf(w, "%s=%q cit=%v cob=%v jit=%v objs=[", role, c.Name, c.ComputePerIteration, c.ComputePerObject, c.ComputeJitter)
+	for _, o := range c.Objects {
+		fmt.Fprintf(w, "%dx%d,", o.Bytes, o.CountPerRank)
+	}
+	fmt.Fprint(w, "]|")
+}
+
+// runKey builds the cache key of one execution.
+func runKey(envKey string, wf workflow.Spec, dep Deployment) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "run|env=%s|", envKey)
+	writeSpecFingerprint(h, wf)
+	fmt.Fprintf(h, "dep=%d/%d/%d/%d", dep.Mode, dep.SimSocket, dep.AnaSocket, dep.DeviceSocket)
+	return fmt.Sprintf("r%016x", h.Sum64())
+}
+
+// classifyKey builds the cache key of one profiling+classification.
+func classifyKey(envKey string, wf workflow.Spec) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "classify|env=%s|", envKey)
+	writeSpecFingerprint(h, wf)
+	return fmt.Sprintf("c%016x", h.Sum64())
+}

@@ -1,6 +1,10 @@
 package core
 
-import "pmemsched/internal/workflow"
+import (
+	"math"
+
+	"pmemsched/internal/workflow"
+)
 
 // OracleDecision is the exhaustive-search answer for one workflow: the
 // measured runtime of every configuration and the best one. This is
@@ -14,9 +18,19 @@ type OracleDecision struct {
 
 // Oracle runs the workflow under all four configurations and returns
 // the full decision. Expensive (four end-to-end runs) but exact; the
-// rule-based recommender is validated against it.
+// rule-based recommender is validated against it. The four runs
+// execute on a fresh run engine; use Runner.Oracle to share a worker
+// pool and result cache across decisions.
 func Oracle(wf workflow.Spec, env Env) (OracleDecision, error) {
-	results, err := RunAll(wf, env)
+	return NewRunner(env, 0).Oracle(wf)
+}
+
+// Oracle runs the workflow under all four configurations — in
+// parallel, memoized — and returns the full decision. Ties for the
+// best runtime break toward the earlier Table I configuration, so the
+// decision is deterministic.
+func (r *Runner) Oracle(wf workflow.Spec) (OracleDecision, error) {
+	results, err := r.RunAll(wf)
 	if err != nil {
 		return OracleDecision{}, err
 	}
@@ -27,25 +41,45 @@ func Oracle(wf workflow.Spec, env Env) (OracleDecision, error) {
 	}, nil
 }
 
+// normalizeTo divides a runtime by the best runtime, guarding the
+// degenerate zero-work case: a zero-runtime result equals a zero best
+// (ratio 1), while a nonzero runtime against a zero best has no
+// meaningful ratio (NaN).
+func normalizeTo(seconds, best float64) float64 {
+	if best == 0 {
+		if seconds == 0 {
+			return 1
+		}
+		return math.NaN()
+	}
+	return seconds / best
+}
+
 // Normalized returns each configuration's runtime divided by the best
-// configuration's — the y-axis of the paper's Fig 10.
+// configuration's — the y-axis of the paper's Fig 10. For a degenerate
+// zero-work decision (best runtime 0) the best entries normalize to 1
+// and any nonzero entry to NaN.
 func (d OracleDecision) Normalized() map[Config]float64 {
 	out := make(map[Config]float64, len(d.Results))
 	for _, r := range d.Results {
-		out[r.Config] = r.TotalSeconds / d.Best.TotalSeconds
+		out[r.Config] = normalizeTo(r.TotalSeconds, d.Best.TotalSeconds)
 	}
 	return out
 }
 
 // Regret returns how much slower the given configuration is than the
-// oracle's best, as a fraction (0 = optimal, 0.25 = 25% slower).
+// oracle's best, as a fraction (0 = optimal, 0.25 = 25% slower). If
+// the configuration was never measured — or the decision is degenerate
+// (zero best runtime against a nonzero one) — the regret is undefined
+// and NaN is returned; callers must surface it (math.IsNaN) rather
+// than read it as "optimal".
 func (d OracleDecision) Regret(cfg Config) float64 {
 	for _, r := range d.Results {
 		if r.Config == cfg {
-			return r.TotalSeconds/d.Best.TotalSeconds - 1
+			return normalizeTo(r.TotalSeconds, d.Best.TotalSeconds) - 1
 		}
 	}
-	return 0
+	return math.NaN()
 }
 
 // ScheduleOutcome reports one auto-scheduling decision end to end:
@@ -56,7 +90,10 @@ type ScheduleOutcome struct {
 	Recommendation Recommendation
 	Chosen         Result
 	Oracle         OracleDecision
-	Regret         float64
+	// Regret is the fractional slowdown of the rule-based choice versus
+	// the oracle's best (only set when verifying). NaN means the regret
+	// is undefined (see OracleDecision.Regret); report it as such.
+	Regret float64
 }
 
 // AutoSchedule is the paper's stated future work made concrete
@@ -64,13 +101,22 @@ type ScheduleOutcome struct {
 // in scheduling systems"): profile the workflow's components
 // standalone, classify them, pick a configuration from Table II, and
 // execute. When verify is true it additionally runs the oracle to
-// report the regret of the rule-based choice.
+// report the regret of the rule-based choice. Runs on a fresh run
+// engine; use Runner.AutoSchedule to share pool and cache.
 func AutoSchedule(wf workflow.Spec, env Env, verify bool) (ScheduleOutcome, error) {
-	rec, err := RecommendWorkflow(wf, env)
+	return NewRunner(env, 0).AutoSchedule(wf, verify)
+}
+
+// AutoSchedule profiles, classifies, recommends and executes on the
+// engine. With verify, the chosen configuration's run is shared with
+// the oracle's through the cache — verification costs three extra runs
+// instead of four.
+func (r *Runner) AutoSchedule(wf workflow.Spec, verify bool) (ScheduleOutcome, error) {
+	rec, err := r.RecommendWorkflow(wf)
 	if err != nil {
 		return ScheduleOutcome{}, err
 	}
-	chosen, err := Run(wf, rec.Config, env)
+	chosen, err := r.Run(wf, rec.Config)
 	if err != nil {
 		return ScheduleOutcome{}, err
 	}
@@ -80,7 +126,7 @@ func AutoSchedule(wf workflow.Spec, env Env, verify bool) (ScheduleOutcome, erro
 		Chosen:         chosen,
 	}
 	if verify {
-		dec, err := Oracle(wf, env)
+		dec, err := r.Oracle(wf)
 		if err != nil {
 			return ScheduleOutcome{}, err
 		}

@@ -29,12 +29,17 @@ type PlacementDecision struct {
 // rather than assumed: a both-remote channel pays remote penalties on
 // both sides and never wins).
 //
-// The environment's machine must have at least sockets sockets.
+// The environment's machine must have at least sockets sockets. Runs
+// on a fresh run engine; use Runner.PlacementOracle to share pool and
+// cache.
 func PlacementOracle(wf workflow.Spec, env Env, sockets int) (PlacementDecision, error) {
-	if sockets < 2 {
-		return PlacementDecision{}, fmt.Errorf("core: placement search needs >= 2 sockets, got %d", sockets)
-	}
-	dec := PlacementDecision{Workflow: wf.Name}
+	return NewRunner(env, 0).PlacementOracle(wf, sockets)
+}
+
+// deploymentSpace enumerates the search space in its canonical order:
+// mode-major, then simulation, analytics and channel sockets.
+func deploymentSpace(sockets int) []Deployment {
+	var deps []Deployment
 	for _, mode := range []Mode{Serial, Parallel} {
 		for simS := 0; simS < sockets; simS++ {
 			for anaS := 0; anaS < sockets; anaS++ {
@@ -42,23 +47,42 @@ func PlacementOracle(wf workflow.Spec, env Env, sockets int) (PlacementDecision,
 					continue
 				}
 				for devS := 0; devS < sockets; devS++ {
-					dep := Deployment{
+					deps = append(deps, Deployment{
 						Mode:         mode,
 						SimSocket:    numa.SocketID(simS),
 						AnaSocket:    numa.SocketID(anaS),
 						DeviceSocket: numa.SocketID(devS),
-					}
-					res, _, err := RunDeployment(wf, dep, env, false)
-					if err != nil {
-						return PlacementDecision{}, err
-					}
-					dr := DeploymentResult{Deployment: dep, Result: res}
-					dec.Results = append(dec.Results, dr)
-					if dec.Best.Result.TotalSeconds == 0 || res.TotalSeconds < dec.Best.Result.TotalSeconds {
-						dec.Best = dr
-					}
+					})
 				}
 			}
+		}
+	}
+	return deps
+}
+
+// PlacementOracle searches the deployment space on the engine: every
+// deployment runs as one batch, and the winner is selected by scanning
+// the canonical enumeration order, so ties break deterministically
+// toward the earlier deployment.
+func (r *Runner) PlacementOracle(wf workflow.Spec, sockets int) (PlacementDecision, error) {
+	if sockets < 2 {
+		return PlacementDecision{}, fmt.Errorf("core: placement search needs >= 2 sockets, got %d", sockets)
+	}
+	deps := deploymentSpace(sockets)
+	jobs := make([]Job, len(deps))
+	for i, dep := range deps {
+		jobs[i] = Job{Workflow: wf, Deployment: dep}
+	}
+	results, err := r.RunBatch(jobs)
+	if err != nil {
+		return PlacementDecision{}, err
+	}
+	dec := PlacementDecision{Workflow: wf.Name}
+	for i, dep := range deps {
+		dr := DeploymentResult{Deployment: dep, Result: results[i]}
+		dec.Results = append(dec.Results, dr)
+		if dec.Best.Result.TotalSeconds == 0 || dr.Result.TotalSeconds < dec.Best.Result.TotalSeconds {
+			dec.Best = dr
 		}
 	}
 	return dec, nil

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"pmemsched/internal/workflow"
 )
@@ -30,11 +31,17 @@ type QueuePlan struct {
 }
 
 // BestFixed returns the best fixed-configuration makespan and its
-// configuration.
+// configuration. Candidates are scanned in Table I order, so equal
+// makespans deterministically resolve to the earlier configuration
+// (map iteration order must never pick the winner).
 func (p QueuePlan) BestFixed() (Config, float64) {
 	best := Config{}
 	bestV := -1.0
-	for cfg, v := range p.FixedMakespans {
+	for _, cfg := range Configs {
+		v, ok := p.FixedMakespans[cfg]
+		if !ok {
+			continue
+		}
 		if bestV < 0 || v < bestV {
 			best, bestV = cfg, v
 		}
@@ -43,7 +50,9 @@ func (p QueuePlan) BestFixed() (Config, float64) {
 }
 
 // Saving returns the fractional makespan reduction of the per-workflow
-// plan versus the best fixed policy (0.1 = 10% faster).
+// plan versus the best fixed policy (0.1 = 10% faster). A degenerate
+// plan (no fixed policies, or a zero fixed makespan from zero-work
+// specs) reports 0 — no claimed saving — rather than dividing by zero.
 func (p QueuePlan) Saving() float64 {
 	_, fixed := p.BestFixed()
 	if fixed <= 0 {
@@ -61,35 +70,69 @@ func (p QueuePlan) Saving() float64 {
 //
 // For the comparison, every workflow is also run under each fixed
 // configuration; with four configurations and N workflows this costs
-// 5N simulated executions plus 2N profiling runs.
+// 5N simulated executions plus 2N profiling runs — which is exactly
+// the shape the memoizing engine collapses to 4N executions, since the
+// recommended run is always one of the fixed ones. Runs on a fresh
+// engine; use Runner.ScheduleQueue to share pool and cache.
 func ScheduleQueue(queue []workflow.Spec, env Env) (QueuePlan, error) {
+	return NewRunner(env, 0).ScheduleQueue(queue)
+}
+
+// ScheduleQueue plans and executes the queue on the engine: profiling
+// runs for all workflows execute concurrently, then every (workflow,
+// configuration) execution runs as one batch. The assembled plan is
+// identical to serial scheduling.
+func (r *Runner) ScheduleQueue(queue []workflow.Spec) (QueuePlan, error) {
 	if len(queue) == 0 {
 		return QueuePlan{}, fmt.Errorf("core: empty workflow queue")
 	}
-	plan := QueuePlan{FixedMakespans: map[Config]float64{}}
-	for _, wf := range queue {
-		rec, err := RecommendWorkflow(wf, env)
-		if err != nil {
-			return QueuePlan{}, fmt.Errorf("core: planning %s: %w", wf.Name, err)
-		}
-		res, err := Run(wf, rec.Config, env)
-		if err != nil {
-			return QueuePlan{}, err
-		}
-		plan.Items = append(plan.Items, QueueItem{Workflow: wf, Recommendation: rec, Result: res})
-		plan.MakespanSeconds += res.TotalSeconds
 
-		for _, cfg := range Configs {
-			if cfg == rec.Config {
-				plan.FixedMakespans[cfg] += res.TotalSeconds
-				continue
-			}
-			r, err := Run(wf, cfg, env)
-			if err != nil {
-				return QueuePlan{}, err
-			}
-			plan.FixedMakespans[cfg] += r.TotalSeconds
+	// Phase 1: classify every workflow (two profiling runs each),
+	// concurrently on the pool.
+	recs := make([]Recommendation, len(queue))
+	recErrs := make([]error, len(queue))
+	var wg sync.WaitGroup
+	for i := range queue {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			recs[i], recErrs[i] = r.RecommendWorkflow(queue[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range recErrs {
+		if err != nil {
+			return QueuePlan{}, fmt.Errorf("core: planning %s: %w", queue[i].Name, err)
 		}
+	}
+
+	// Phase 2: every (workflow, configuration) execution in one batch.
+	jobs := make([]Job, 0, len(queue)*len(Configs))
+	for _, wf := range queue {
+		for _, cfg := range Configs {
+			jobs = append(jobs, ConfigJob(wf, cfg))
+		}
+	}
+	results, err := r.RunBatch(jobs)
+	if err != nil {
+		return QueuePlan{}, err
+	}
+
+	// Deterministic assembly in queue order.
+	plan := QueuePlan{FixedMakespans: map[Config]float64{}}
+	for i, wf := range queue {
+		rec := recs[i]
+		var chosen Result
+		for j, cfg := range Configs {
+			res := results[i*len(Configs)+j]
+			res.Config = cfg
+			plan.FixedMakespans[cfg] += res.TotalSeconds
+			if cfg == rec.Config {
+				chosen = res
+			}
+		}
+		plan.Items = append(plan.Items, QueueItem{Workflow: wf, Recommendation: rec, Result: chosen})
+		plan.MakespanSeconds += chosen.TotalSeconds
 	}
 	return plan, nil
 }

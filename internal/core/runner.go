@@ -1,0 +1,227 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"pmemsched/internal/workflow"
+)
+
+// Job is one unit of work for the run engine: a workflow executed
+// under an explicit deployment.
+type Job struct {
+	Workflow   workflow.Spec
+	Deployment Deployment
+}
+
+// ConfigJob builds the job for a Table I configuration: the workflow
+// under the configuration's canonical two-socket deployment.
+func ConfigJob(wf workflow.Spec, cfg Config) Job {
+	return Job{Workflow: wf, Deployment: cfg.Deployment()}
+}
+
+// RunnerStats counts the engine's cache traffic.
+type RunnerStats struct {
+	// Hits served a result from a completed cache entry.
+	Hits uint64
+	// Misses executed a run (or a profiling pass) and filled the cache.
+	Misses uint64
+	// Inflight joined an identical execution already in progress
+	// instead of duplicating it.
+	Inflight uint64
+}
+
+// Runs returns the total requests the engine answered.
+func (s RunnerStats) Runs() uint64 { return s.Hits + s.Misses + s.Inflight }
+
+// cacheEntry is one memoized execution. done is closed when value/err
+// are final; late arrivals wait on it instead of re-executing
+// (single-flight semantics).
+type cacheEntry struct {
+	done  chan struct{}
+	value any
+	err   error
+}
+
+// runnerState is the shared half of a Runner: the bounded worker pool,
+// the content-keyed result cache, and the traffic counters. Runners
+// derived via WithEnv share one state, so a multi-environment workload
+// (stack comparisons, device ablations) draws from a single pool and a
+// single cache — keys embed the environment fingerprint, so entries
+// never cross environments.
+type runnerState struct {
+	sem   chan struct{}
+	mu    sync.Mutex
+	cache map[string]*cacheEntry
+
+	hits, misses, inflight atomic.Uint64
+}
+
+// Runner is a concurrent, memoizing run engine. Runs are pure — the
+// environment hands out a fresh machine and stack per execution and the
+// simulation kernel is deterministic — so the engine executes jobs on a
+// bounded worker pool and memoizes results by content fingerprint
+// (workflow spec + deployment + environment identity). Identical jobs
+// submitted concurrently are coalesced into one execution.
+//
+// All results are bit-identical to serial execution: parallelism and
+// caching change only wall-clock time, never outputs.
+type Runner struct {
+	env    Env
+	envKey string
+	state  *runnerState
+}
+
+// NewRunner builds a run engine over the environment with the given
+// worker-pool size; workers <= 0 selects GOMAXPROCS.
+func NewRunner(env Env, workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		env:    env,
+		envKey: env.fingerprint(),
+		state: &runnerState{
+			sem:   make(chan struct{}, workers),
+			cache: make(map[string]*cacheEntry),
+		},
+	}
+}
+
+// WithEnv returns a runner over a different environment sharing this
+// runner's worker pool, cache, and counters.
+func (r *Runner) WithEnv(env Env) *Runner {
+	return &Runner{env: env, envKey: env.fingerprint(), state: r.state}
+}
+
+// Env returns the environment the runner executes in.
+func (r *Runner) Env() Env { return r.env }
+
+// Workers returns the worker-pool size.
+func (r *Runner) Workers() int { return cap(r.state.sem) }
+
+// Stats returns a snapshot of the cache traffic counters.
+func (r *Runner) Stats() RunnerStats {
+	return RunnerStats{
+		Hits:     r.state.hits.Load(),
+		Misses:   r.state.misses.Load(),
+		Inflight: r.state.inflight.Load(),
+	}
+}
+
+// do answers a request for key, executing exec on the worker pool at
+// most once per key. Concurrent requests for an in-flight key wait for
+// the first execution; later requests are served from the cache.
+// Errors are memoized too — a failing job fails identically on replay.
+func (st *runnerState) do(key string, exec func() (any, error)) (any, error) {
+	st.mu.Lock()
+	if e, ok := st.cache[key]; ok {
+		select {
+		case <-e.done:
+			st.hits.Add(1)
+		default:
+			st.inflight.Add(1)
+		}
+		st.mu.Unlock()
+		<-e.done
+		return e.value, e.err
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	st.cache[key] = e
+	st.mu.Unlock()
+	st.misses.Add(1)
+
+	st.sem <- struct{}{} // acquire a worker slot
+	e.value, e.err = exec()
+	<-st.sem
+	close(e.done)
+	return e.value, e.err
+}
+
+// RunDeployment executes (or recalls) the workflow under an explicit
+// deployment.
+func (r *Runner) RunDeployment(wf workflow.Spec, dep Deployment) (Result, error) {
+	v, err := r.state.do(runKey(r.envKey, wf, dep), func() (any, error) {
+		res, _, err := RunDeployment(wf, dep, r.env, false)
+		return res, err
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return v.(Result), nil
+}
+
+// Run executes (or recalls) the workflow under a Table I configuration.
+func (r *Runner) Run(wf workflow.Spec, cfg Config) (Result, error) {
+	res, err := r.RunDeployment(wf, cfg.Deployment())
+	if err != nil {
+		return Result{}, err
+	}
+	res.Config = cfg
+	return res, nil
+}
+
+// RunBatch executes the jobs on the worker pool and returns their
+// results in job order. Duplicate jobs within the batch (or across
+// batches on the same state) execute once. The first error in job
+// order is returned; remaining jobs still run, so a retried batch is
+// served from the cache.
+func (r *Runner) RunBatch(jobs []Job) ([]Result, error) {
+	results := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = r.RunDeployment(jobs[i].Workflow, jobs[i].Deployment)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// RunAll executes the workflow under every Table I configuration and
+// returns the results in Configs order.
+func (r *Runner) RunAll(wf workflow.Spec) ([]Result, error) {
+	jobs := make([]Job, len(Configs))
+	for i, cfg := range Configs {
+		jobs[i] = ConfigJob(wf, cfg)
+	}
+	results, err := r.RunBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, cfg := range Configs {
+		results[i].Config = cfg
+	}
+	return results, nil
+}
+
+// Classify profiles the workflow's components standalone (memoized by
+// spec and environment) and buckets them into Table II's vocabulary.
+func (r *Runner) Classify(wf workflow.Spec) (Features, error) {
+	v, err := r.state.do(classifyKey(r.envKey, wf), func() (any, error) {
+		return Classify(wf, r.env)
+	})
+	if err != nil {
+		return Features{}, err
+	}
+	return v.(Features), nil
+}
+
+// RecommendWorkflow classifies the workflow (memoized profiling runs)
+// and applies the Table II rules.
+func (r *Runner) RecommendWorkflow(wf workflow.Spec) (Recommendation, error) {
+	f, err := r.Classify(wf)
+	if err != nil {
+		return Recommendation{}, err
+	}
+	return Recommend(f)
+}

@@ -17,12 +17,14 @@ func TestAllExperimentsRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full evaluation in -short mode")
 	}
-	env := core.DefaultEnv()
+	// One engine shared across all experiments, exercised concurrently
+	// by the parallel subtests — the same sharing cmd/wfsuite does.
+	rt := core.NewRunner(core.DefaultEnv(), 0)
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
 			t.Parallel()
-			rep, err := e.Run(env)
+			rep, err := e.Run(rt)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -141,11 +141,16 @@ func (r *Report) Matched() (ok, total int) {
 	return ok, len(r.Findings)
 }
 
-// Experiment is one reproducible artifact of the paper.
+// Experiment is one reproducible artifact of the paper. Run regenerates
+// it on the given run engine; experiments that evaluate derived
+// environments (other stacks, other device models) fork the engine with
+// Runner.WithEnv, so one engine shared across the whole suite serves
+// every repeated (workflow, configuration, environment) execution from
+// its cache.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(env core.Env) (*Report, error)
+	Run   func(rt *core.Runner) (*Report, error)
 }
 
 // All returns every experiment in paper order.
@@ -181,9 +186,10 @@ func ByID(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
 }
 
-// runAll executes a workflow under all four configurations.
-func runAll(wf workflow.Spec, env core.Env) ([]core.Result, error) {
-	return core.RunAll(wf, env)
+// runAll executes a workflow under all four configurations on the
+// engine.
+func runAll(wf workflow.Spec, rt *core.Runner) ([]core.Result, error) {
+	return rt.RunAll(wf)
 }
 
 // resultBars converts per-configuration results into the paper's bar

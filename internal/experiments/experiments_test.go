@@ -39,7 +39,7 @@ func TestByID(t *testing.T) {
 }
 
 func TestTable1Experiment(t *testing.T) {
-	rep, err := Table1(core.DefaultEnv())
+	rep, err := Table1(core.NewRunner(core.DefaultEnv(), 0))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,13 +22,15 @@ import (
 // small-object workflows may shift because NVStream removes most of
 // the per-operation software cost (which raises the effective PMEM
 // concurrency).
-func StackComparison(env core.Env) (*Report, error) {
+func StackComparison(rt *core.Runner) (*Report, error) {
 	r := &Report{ID: "stackcmp", Title: "NOVA vs NVStream"}
 
-	novaEnv := env
+	novaEnv := rt.Env()
 	novaEnv.NewStack = func() stack.Instance { return nova.Default() }
-	nvEnv := env
+	novaRt := rt.WithEnv(novaEnv)
+	nvEnv := rt.Env()
 	nvEnv.NewStack = func() stack.Instance { return nvstream.Default() }
+	nvRt := rt.WithEnv(nvEnv)
 
 	cases := []struct {
 		wf    workflow.Spec
@@ -44,11 +46,11 @@ func StackComparison(env core.Env) (*Report, error) {
 	t := &trace.Table{Columns: []string{"workflow", "objects", "NOVA best", "NVStream best", "same winner"}}
 	largeStable := true
 	for _, c := range cases {
-		nRes, err := runAll(c.wf, novaEnv)
+		nRes, err := runAll(c.wf, novaRt)
 		if err != nil {
 			return nil, err
 		}
-		vRes, err := runAll(c.wf, nvEnv)
+		vRes, err := runAll(c.wf, nvRt)
 		if err != nil {
 			return nil, err
 		}
@@ -71,11 +73,11 @@ func StackComparison(env core.Env) (*Report, error) {
 	// Software-cost reduction itself: in serial mode (no cross-component
 	// contention) NVStream must beat NOVA on the small-object workflow.
 	wf := workloads.MicroWorkflow(workloads.MicroObjectSmall, 16)
-	nSer, err := core.Run(wf, core.SLocR, novaEnv)
+	nSer, err := novaRt.Run(wf, core.SLocR)
 	if err != nil {
 		return nil, err
 	}
-	vSer, err := core.Run(wf, core.SLocR, nvEnv)
+	vSer, err := nvRt.Run(wf, core.SLocR)
 	if err != nil {
 		return nil, err
 	}
@@ -90,17 +92,17 @@ func StackComparison(env core.Env) (*Report, error) {
 	// can end up *slower* end to end. Raw DAX (the software floor,
 	// usable in parallel mode only — its fixed layout keeps no version
 	// history) makes the effect starkest.
-	daxEnv := env
+	daxEnv := rt.Env()
 	daxEnv.NewStack = func() stack.Instance { return daxraw.Default() }
-	nPar, err := core.Run(wf, core.PLocR, novaEnv)
+	nPar, err := novaRt.Run(wf, core.PLocR)
 	if err != nil {
 		return nil, err
 	}
-	vPar, err := core.Run(wf, core.PLocR, nvEnv)
+	vPar, err := nvRt.Run(wf, core.PLocR)
 	if err != nil {
 		return nil, err
 	}
-	dPar, err := core.Run(wf, core.PLocR, daxEnv)
+	dPar, err := rt.WithEnv(daxEnv).Run(wf, core.PLocR)
 	if err != nil {
 		return nil, err
 	}
@@ -127,7 +129,7 @@ type ablationCase struct {
 }
 
 // Ablations runs the device-model ablations.
-func Ablations(env core.Env) (*Report, error) {
+func Ablations(rt *core.Runner) (*Report, error) {
 	r := &Report{ID: "ablation", Title: "Device-model ablations"}
 	cases := []ablationCase{
 		{
@@ -187,17 +189,17 @@ func Ablations(env core.Env) (*Report, error) {
 	t := &trace.Table{Columns: []string{"ablation", "sentinel workflow", "full model", "ablated", "winner changed"}}
 	changed := 0
 	for _, c := range cases {
-		fullRes, err := runAll(c.wf, env)
+		fullRes, err := runAll(c.wf, rt)
 		if err != nil {
 			return nil, err
 		}
 		model := pmem.Gen1Optane()
 		c.mutate(&model)
-		ablEnv := env
+		ablEnv := rt.Env()
 		ablEnv.NewMachine = func() *platform.Machine {
 			return platform.New(numa.TestbedConfig(), model)
 		}
-		ablRes, err := runAll(c.wf, ablEnv)
+		ablRes, err := runAll(c.wf, rt.WithEnv(ablEnv))
 		if err != nil {
 			return nil, err
 		}

@@ -21,16 +21,16 @@ import (
 // documented knife-edge (see EXPERIMENTS.md), so the quantified checks
 // anchor on the GTC pair, with the miniAMR table shown for the
 // figure's shape.
-func Fig1(env core.Env) (*Report, error) {
+func Fig1(rt *core.Runner) (*Report, error) {
 	r := &Report{ID: "fig1", Title: "Performance of coupled workflows with different configurations"}
 	const ranks = 16
 
 	pair := func(name string, ro, mm workflow.Spec) (worst float64, cfgRO, cfgMM core.Config, err error) {
-		roRes, err := runAll(ro, env)
+		roRes, err := runAll(ro, rt)
 		if err != nil {
 			return 0, core.Config{}, core.Config{}, err
 		}
-		mmRes, err := runAll(mm, env)
+		mmRes, err := runAll(mm, rt)
 		if err != nil {
 			return 0, core.Config{}, core.Config{}, err
 		}
@@ -71,7 +71,7 @@ func Fig1(env core.Env) (*Report, error) {
 }
 
 // Table1 reproduces Table I: the configuration summary.
-func Table1(core.Env) (*Report, error) {
+func Table1(*core.Runner) (*Report, error) {
 	r := &Report{ID: "tab1", Title: "Summary of configurations"}
 	t := &trace.Table{Columns: []string{"Config label", "Execution Mode", "Placement"}}
 	for _, cfg := range core.Configs {
@@ -90,7 +90,7 @@ func Table1(core.Env) (*Report, error) {
 // Fig3 reproduces the workflow parameter space: the measured I/O
 // indexes (standalone, node-local PMEM — §IV-A's definition) and
 // configuration parameters of the application workflows.
-func Fig3(env core.Env) (*Report, error) {
+func Fig3(rt *core.Runner) (*Report, error) {
 	r := &Report{ID: "fig3", Title: "Workflow parameter space"}
 	t := &trace.Table{Columns: []string{
 		"workflow", "sim I/O index", "concurrency", "object size", "analytics I/O index"}}
@@ -110,7 +110,7 @@ func Fig3(env core.Env) (*Report, error) {
 	for _, g := range gens {
 		for _, ranks := range workloads.ConcurrencyLevels {
 			wf := g.mk(ranks)
-			f, err := core.Classify(wf, env)
+			f, err := rt.Classify(wf)
 			if err != nil {
 				return nil, err
 			}
@@ -134,13 +134,13 @@ func Fig3(env core.Env) (*Report, error) {
 // runtimeFigure is the common shape of Figs 4-9: one workflow family
 // at the three concurrency levels, all four configurations, split bars
 // for serial runs.
-func runtimeFigure(id, title string, mk func(int) workflow.Spec, env core.Env,
+func runtimeFigure(id, title string, mk func(int) workflow.Spec, rt *core.Runner,
 	check func(r *Report, byRanks map[int][]core.Result)) (*Report, error) {
 	r := &Report{ID: id, Title: title}
 	byRanks := map[int][]core.Result{}
 	for _, ranks := range workloads.ConcurrencyLevels {
 		wf := mk(ranks)
-		results, err := runAll(wf, env)
+		results, err := runAll(wf, rt)
 		if err != nil {
 			return nil, err
 		}
@@ -173,10 +173,10 @@ func checkRatio(r *Report, results []core.Result, ranks int, name string,
 // Fig4 reproduces "Benchmark Writer + Reader with 64MB objects":
 // bandwidth-bound large-object streaming, where serial execution with
 // local writes dominates (§VI-A).
-func Fig4(env core.Env) (*Report, error) {
+func Fig4(rt *core.Runner) (*Report, error) {
 	return runtimeFigure("fig4", "Benchmark Writer + Reader with 64MB objects: Runtime",
 		func(ranks int) workflow.Spec { return workloads.MicroWorkflow(workloads.MicroObjectLarge, ranks) },
-		env, func(r *Report, byRanks map[int][]core.Result) {
+		rt, func(r *Report, byRanks map[int][]core.Result) {
 			for _, ranks := range workloads.ConcurrencyLevels {
 				checkWinner(r, byRanks[ranks], ranks, core.SLocW)
 			}
@@ -189,10 +189,10 @@ func Fig4(env core.Env) (*Report, error) {
 // software overhead keeps bandwidth unconstrained, so local reads are
 // prioritized; serial wins only at high concurrency via internal-cache
 // contention (§VI-B, §VI-D).
-func Fig5(env core.Env) (*Report, error) {
+func Fig5(rt *core.Runner) (*Report, error) {
 	return runtimeFigure("fig5", "Benchmark Writer + Reader with 2K objects: Runtime",
 		func(ranks int) workflow.Spec { return workloads.MicroWorkflow(workloads.MicroObjectSmall, ranks) },
-		env, func(r *Report, byRanks map[int][]core.Result) {
+		rt, func(r *Report, byRanks map[int][]core.Result) {
 			checkWinner(r, byRanks[8], 8, core.PLocR)
 			checkWinner(r, byRanks[16], 16, core.PLocR)
 			checkWinner(r, byRanks[24], 24, core.SLocR)
@@ -217,9 +217,9 @@ func Fig5(env core.Env) (*Report, error) {
 // Fig6 reproduces "GTC + Read only": a compute-intensive simulation
 // with a few large objects. Parallel at low concurrency, serial
 // read-priority at medium, serial write-priority at high (§VI).
-func Fig6(env core.Env) (*Report, error) {
+func Fig6(rt *core.Runner) (*Report, error) {
 	return runtimeFigure("fig6", "GTC + Read only: Runtime", workloads.GTCReadOnly,
-		env, func(r *Report, byRanks map[int][]core.Result) {
+		rt, func(r *Report, byRanks map[int][]core.Result) {
 			checkWinner(r, byRanks[8], 8, core.PLocR)
 			checkWinner(r, byRanks[16], 16, core.SLocR)
 			checkWinner(r, byRanks[24], 24, core.SLocW)
@@ -229,9 +229,9 @@ func Fig6(env core.Env) (*Report, error) {
 }
 
 // Fig7 reproduces "GTC + matrixmult".
-func Fig7(env core.Env) (*Report, error) {
+func Fig7(rt *core.Runner) (*Report, error) {
 	return runtimeFigure("fig7", "GTC + matrixmult: Runtime", workloads.GTCMatrixMult,
-		env, func(r *Report, byRanks map[int][]core.Result) {
+		rt, func(r *Report, byRanks map[int][]core.Result) {
 			checkWinner(r, byRanks[8], 8, core.PLocR)
 			checkWinner(r, byRanks[16], 16, core.PLocR)
 			checkWinner(r, byRanks[24], 24, core.SLocW)
@@ -246,9 +246,9 @@ func Fig7(env core.Env) (*Report, error) {
 
 // Fig8 reproduces "miniAMR + Read only": an I/O-intensive simulation
 // with many small objects.
-func Fig8(env core.Env) (*Report, error) {
+func Fig8(rt *core.Runner) (*Report, error) {
 	return runtimeFigure("fig8", "miniAMR + Read only: Runtime", workloads.MiniAMRReadOnly,
-		env, func(r *Report, byRanks map[int][]core.Result) {
+		rt, func(r *Report, byRanks map[int][]core.Result) {
 			checkWinner(r, byRanks[8], 8, core.PLocR)
 			checkWinner(r, byRanks[16], 16, core.SLocR)
 			checkWinner(r, byRanks[24], 24, core.SLocW)
@@ -262,9 +262,9 @@ func Fig8(env core.Env) (*Report, error) {
 // Fig9 reproduces "miniAMR + matrixmult": interleaved analytics
 // compute flips the low-concurrency placement toward the simulation
 // (§VI-C).
-func Fig9(env core.Env) (*Report, error) {
+func Fig9(rt *core.Runner) (*Report, error) {
 	return runtimeFigure("fig9", "miniAMR + matrixmult: Runtime", workloads.MiniAMRMatrixMult,
-		env, func(r *Report, byRanks map[int][]core.Result) {
+		rt, func(r *Report, byRanks map[int][]core.Result) {
 			// Known deviation (see EXPERIMENTS.md): at 8 and 16 ranks the
 			// simulated oracle picks the paper's execution mode but the
 			// adjacent placement, with the two placements within ~1-3% of
@@ -285,7 +285,7 @@ func Fig9(env core.Env) (*Report, error) {
 // Fig10 reproduces the normalized-runtime summary: no single
 // configuration is optimal across workflows, and a mis-configured
 // workload loses up to ~70% (§VII).
-func Fig10(env core.Env) (*Report, error) {
+func Fig10(rt *core.Runner) (*Report, error) {
 	r := &Report{ID: "fig10", Title: "Workflow runtime normalized to the fastest configuration"}
 	families := []struct {
 		sub  string
@@ -308,7 +308,7 @@ func Fig10(env core.Env) (*Report, error) {
 		}
 		norm[fam.sub] = map[int]map[core.Config]float64{}
 		for _, ranks := range workloads.ConcurrencyLevels {
-			results, err := runAll(fam.mk(ranks), env)
+			results, err := runAll(fam.mk(ranks), rt)
 			if err != nil {
 				return nil, err
 			}
@@ -351,7 +351,7 @@ func Fig10(env core.Env) (*Report, error) {
 // Table2 validates the paper's Table II recommendations: for every
 // suite workload, the feature-based recommendation must match the
 // simulated oracle's best configuration.
-func Table2(env core.Env) (*Report, error) {
+func Table2(rt *core.Runner) (*Report, error) {
 	r := &Report{ID: "tab2", Title: "Configuration recommendations for workflows"}
 	t := &trace.Table{Columns: []string{
 		"workflow", "sim compute", "sim write", "ana compute", "ana read",
@@ -359,11 +359,11 @@ func Table2(env core.Env) (*Report, error) {
 	matches, total := 0, 0
 	var worstRegret float64
 	for _, wf := range workloads.Suite() {
-		rec, err := core.RecommendWorkflow(wf, env)
+		rec, err := rt.RecommendWorkflow(wf)
 		if err != nil {
 			return nil, err
 		}
-		dec, err := core.Oracle(wf, env)
+		dec, err := rt.Oracle(wf)
 		if err != nil {
 			return nil, err
 		}

@@ -19,7 +19,7 @@ import (
 // each cell. The paper's Fig 3 argues its suite spans the parameter
 // space; the sweep fills the space in and shows where the regime
 // boundaries (LocW↔LocR, serial↔parallel) actually fall.
-func Sweep(env core.Env) (*Report, error) {
+func Sweep(rt *core.Runner) (*Report, error) {
 	r := &Report{ID: "sweep", Title: "Configuration crossover map (object size x concurrency)"}
 
 	sizes := []int64{2 * units.KiB, 16 * units.KiB, 256 * units.KiB, 4 * units.MiB, 64 * units.MiB}
@@ -34,7 +34,7 @@ func Sweep(env core.Env) (*Report, error) {
 		row := []any{units.FormatBytes(size)}
 		for _, ranks := range rankCounts {
 			wf := workloads.MicroWorkflow(size, ranks)
-			dec, err := core.Oracle(wf, env)
+			dec, err := rt.Oracle(wf)
 			if err != nil {
 				return nil, err
 			}
@@ -56,11 +56,11 @@ func Sweep(env core.Env) (*Report, error) {
 		sim := workloads.Micro(workloads.MicroObjectLarge)
 		sim.ComputePerIteration = c
 		wf := workflow.Couple(fmt.Sprintf("sweep-c%.1f", c), sim, workloads.ReadOnly(), 16, workloads.Iterations)
-		dec, err := core.Oracle(wf, env)
+		dec, err := rt.Oracle(wf)
 		if err != nil {
 			return nil, err
 		}
-		f, err := core.Classify(wf, env)
+		f, err := rt.Classify(wf)
 		if err != nil {
 			return nil, err
 		}
@@ -90,20 +90,21 @@ func rankLabels(ranks []int) []string {
 // still matches. The rules encode relative trade-offs (write/read
 // asymmetry, remote collapse, cache contention), not Gen-1's absolute
 // peaks, so most rows should transfer.
-func RuleTransfer(env core.Env) (*Report, error) {
+func RuleTransfer(rt *core.Runner) (*Report, error) {
 	r := &Report{ID: "gen2", Title: "Rule robustness on Gen-2 Optane"}
-	gen2 := env
+	gen2 := rt.Env()
 	gen2.NewMachine = func() *platform.Machine {
 		return platform.New(numa.TestbedConfig(), pmem.Gen2Optane())
 	}
+	gen2Rt := rt.WithEnv(gen2)
 	t := &trace.Table{Columns: []string{"workflow", "rule (Gen-1 features)", "Gen-2 oracle", "transfers", "regret on Gen-2"}}
 	match, total := 0, 0
 	for _, wf := range workloads.Suite() {
-		rec, err := core.RecommendWorkflow(wf, env) // classify on Gen-1, as the rules were derived
+		rec, err := rt.RecommendWorkflow(wf) // classify on Gen-1, as the rules were derived
 		if err != nil {
 			return nil, err
 		}
-		dec, err := core.Oracle(wf, gen2)
+		dec, err := gen2Rt.Oracle(wf)
 		if err != nil {
 			return nil, err
 		}
@@ -128,7 +129,7 @@ func RuleTransfer(env core.Env) (*Report, error) {
 // perfectly synchronized compute phases are an idealization; the
 // paper's conclusions should not hinge on it. Each sentinel's winning
 // configuration is compared against the balanced run's.
-func JitterRobustness(env core.Env) (*Report, error) {
+func JitterRobustness(rt *core.Runner) (*Report, error) {
 	r := &Report{ID: "jitter", Title: "Robustness to compute-load imbalance (10% jitter)"}
 	const jitter = 0.10
 	sentinels := []workflow.Spec{
@@ -142,14 +143,14 @@ func JitterRobustness(env core.Env) (*Report, error) {
 	t := &trace.Table{Columns: []string{"workflow", "balanced best", "jittered best", "stable", "jittered/balanced runtime"}}
 	stable := 0
 	for _, wf := range sentinels {
-		balanced, err := core.Oracle(wf, env)
+		balanced, err := rt.Oracle(wf)
 		if err != nil {
 			return nil, err
 		}
 		jwf := wf
 		jwf.Simulation.ComputeJitter = jitter
 		jwf.Analytics.ComputeJitter = jitter
-		jittered, err := core.Oracle(jwf, env)
+		jittered, err := rt.Oracle(jwf)
 		if err != nil {
 			return nil, err
 		}
@@ -176,9 +177,9 @@ func JitterRobustness(env core.Env) (*Report, error) {
 // two components; the search confirms that a channel remote to both
 // never wins, and that the winning deployment reduces to the same
 // Table I configuration the dual-socket oracle picks.
-func PlacementSpace(env core.Env) (*Report, error) {
+func PlacementSpace(rt *core.Runner) (*Report, error) {
 	r := &Report{ID: "placement", Title: "Deployment-space search on a four-socket node"}
-	four := env
+	four := rt.Env()
 	four.NewMachine = func() *platform.Machine {
 		return platform.New(numa.Config{
 			Sockets:        4,
@@ -187,6 +188,7 @@ func PlacementSpace(env core.Env) (*Report, error) {
 			UPIBandwidth:   21.6 * units.GBps,
 		}, pmem.Gen1Optane())
 	}
+	fourRt := rt.WithEnv(four)
 	cases := []workflow.Spec{
 		workloads.MicroWorkflow(workloads.MicroObjectLarge, 24),
 		workloads.GTCReadOnly(16),
@@ -197,11 +199,11 @@ func PlacementSpace(env core.Env) (*Report, error) {
 	neverRemoteBoth := true
 	sameAsTwoSocket := 0
 	for _, wf := range cases {
-		dec, err := core.PlacementOracle(wf, four, 4)
+		dec, err := fourRt.PlacementOracle(wf, 4)
 		if err != nil {
 			return nil, err
 		}
-		twoSocket, err := core.Oracle(wf, env)
+		twoSocket, err := rt.Oracle(wf)
 		if err != nil {
 			return nil, err
 		}

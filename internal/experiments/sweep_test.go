@@ -12,7 +12,7 @@ func TestSweepExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep grid in -short mode")
 	}
-	rep, err := Sweep(core.DefaultEnv())
+	rep, err := Sweep(core.NewRunner(core.DefaultEnv(), 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func TestRuleTransferExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("gen2 transfer in -short mode")
 	}
-	rep, err := RuleTransfer(core.DefaultEnv())
+	rep, err := RuleTransfer(core.NewRunner(core.DefaultEnv(), 0))
 	if err != nil {
 		t.Fatal(err)
 	}

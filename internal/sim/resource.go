@@ -76,6 +76,10 @@ func NewFixedResource(name string, capacity float64) *FixedResource {
 // Name implements Resource.
 func (r *FixedResource) Name() string { return r.name }
 
+// Capacity returns the constant aggregate capacity in bytes/second
+// (used by environment fingerprinting to identify a topology).
+func (r *FixedResource) Capacity() float64 { return r.cap }
+
 // SetFlows implements Resource.
 func (r *FixedResource) SetFlows(float64, []*Flow) {}
 

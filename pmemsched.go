@@ -126,6 +126,27 @@ func RunWithTrace(wf Workflow, cfg Config, env Env, traced bool) (Result, *Trace
 // RunAll executes a workflow under every configuration.
 func RunAll(wf Workflow, env Env) ([]Result, error) { return core.RunAll(wf, env) }
 
+// Concurrent memoizing run engine.
+type (
+	// Runner executes runs on a bounded worker pool with a
+	// content-keyed result cache; identical runs are computed once.
+	Runner = core.Runner
+	// Job is one (workflow, deployment) execution for Runner.RunBatch.
+	Job = core.Job
+	// RunnerStats counts the engine's cache hits, misses and coalesced
+	// in-flight joins.
+	RunnerStats = core.RunnerStats
+)
+
+// NewRunner builds a run engine on env with the given worker count
+// (<= 0 means GOMAXPROCS). All scheduling entry points are available
+// as Runner methods — Run, RunAll, Oracle, AutoSchedule,
+// ScheduleQueue, PlacementOracle — sharing one pool and one cache.
+func NewRunner(env Env, workers int) *Runner { return core.NewRunner(env, workers) }
+
+// ConfigJob builds the batch job for one Table I configuration.
+func ConfigJob(wf Workflow, cfg Config) Job { return core.ConfigJob(wf, cfg) }
+
 // Best returns the fastest result.
 func Best(results []Result) Result { return core.Best(results) }
 
@@ -252,7 +273,8 @@ func NewMachine(cfg TopologyConfig, model DeviceModel) *Machine {
 	return platform.New(cfg, model)
 }
 
-// Experiments (one per paper table/figure).
+// Experiments (one per paper table/figure). An Experiment's Run takes
+// a *Runner; share one engine across experiments to reuse results.
 type (
 	// Experiment regenerates one paper artifact.
 	Experiment = experiments.Experiment
