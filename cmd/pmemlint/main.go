@@ -1,0 +1,213 @@
+// Command pmemlint statically enforces the repo's determinism and
+// cache-key invariants (DESIGN.md §7) with four analyzers:
+//
+//	mapiter     no map-order-dependent output in report packages
+//	wallclock   no wall clock / global rand in the simulation kernel
+//	fingerprint cache keys cover every exported struct field
+//	unitsafety  calibrated quantities go through internal/units
+//
+// It runs two ways:
+//
+//	pmemlint ./...                          # standalone, loads packages itself
+//	go vet -vettool=$(which pmemlint) ./... # as a vet tool (unitchecker protocol)
+//
+// Standalone mode exits 1 if any diagnostic is reported; vet mode
+// follows the vet convention and exits 2. Suppress individual findings
+// with //pmemlint:ignore <analyzer> <reason>.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"pmemsched/internal/analysis"
+	"pmemsched/internal/analysis/fingerprint"
+	"pmemsched/internal/analysis/load"
+	"pmemsched/internal/analysis/mapiter"
+	"pmemsched/internal/analysis/unitsafety"
+	"pmemsched/internal/analysis/wallclock"
+)
+
+var analyzers = []*analysis.Analyzer{
+	fingerprint.Analyzer,
+	mapiter.Analyzer,
+	unitsafety.Analyzer,
+	wallclock.Analyzer,
+}
+
+func main() {
+	args := os.Args[1:]
+	// The go command probes a vet tool before use: -V=full must print a
+	// version fingerprint, -flags the tool's analyzer flags (we expose
+	// none). Handle the probes before normal flag parsing.
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			printVersion()
+			return
+		case a == "-flags" || a == "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		vetMode(args[0])
+		return
+	}
+	standalone(args)
+}
+
+func standalone(args []string) {
+	fs := flag.NewFlagSet("pmemlint", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: pmemlint [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Fprintf(fs.Output(), "  %-12s %s\n", a.Name, doc)
+		}
+	}
+	fs.Parse(args)
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	units, err := load.Packages(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmemlint:", err)
+		os.Exit(1)
+	}
+	total := 0
+	for _, u := range units {
+		diags, err := analysis.Run(u, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmemlint:", err)
+			os.Exit(1)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			total++
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "pmemlint: %d diagnostic(s)\n", total)
+		os.Exit(1)
+	}
+}
+
+// vetConfig is the JSON configuration the go command hands a vet tool
+// for each package unit (cmd/go/internal/work's vetConfig; the same
+// schema x/tools' unitchecker consumes).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func vetMode(cfgPath string) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(fmt.Errorf("parsing %s: %v", cfgPath, err))
+	}
+	// The go command requires the facts file to exist even though
+	// pmemlint's analyzers exchange no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fatal(err)
+		}
+	}
+	if cfg.VetxOnly || len(cfg.GoFiles) == 0 {
+		return
+	}
+	fset := token.NewFileSet()
+	gc := importer.ForCompiler(fset, compilerFor(cfg), func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	unit, err := load.Check(fset, mappedImporter{cfg.ImportMap, gc}, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fatal(err)
+	}
+	// Test variants arrive as "pkg [pkg.test]"; scope rules want the
+	// plain import path.
+	unit.Path = strings.TrimSuffix(cfg.ImportPath, "_test")
+	if i := strings.Index(unit.Path, " ["); i >= 0 {
+		unit.Path = unit.Path[:i]
+	}
+	diags, err := analysis.Run(unit, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}
+
+func compilerFor(cfg vetConfig) string {
+	if cfg.Compiler == "" || cfg.Compiler == "gc" {
+		return "gc"
+	}
+	return cfg.Compiler
+}
+
+// mappedImporter rewrites source-level import paths through the vet
+// config's ImportMap (vendoring, test variants) before consulting the
+// export-data importer.
+type mappedImporter struct {
+	importMap map[string]string
+	base      types.Importer
+}
+
+func (m mappedImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	return m.base.Import(path)
+}
+
+// printVersion mimics the version stamp the go command expects from a
+// vet tool: a content hash of the tool binary, used as a cache key.
+func printVersion() {
+	h := sha256.New()
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("pmemlint version devel buildID=%02x\n", h.Sum(nil)[:12])
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pmemlint:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,155 @@
+// Package analysis is a minimal, dependency-free re-implementation of
+// the core of golang.org/x/tools/go/analysis, sized for this module's
+// needs. The build must stay hermetic (stdlib only), so instead of
+// importing x/tools we mirror the shape of its API: an Analyzer holds a
+// name, a doc string and a Run function; a Pass gives the Run function
+// one type-checked package and a Report sink. Analyzers written against
+// this package port to the real framework by swapping the import.
+//
+// The package also implements the suppression directive
+//
+//	//pmemlint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// which silences diagnostics from the named analyzers (or "all") on the
+// directive's own line, or — when the directive stands alone on its
+// line — on the following line. A directive without a reason is itself
+// reported, so every exception stays auditable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //pmemlint:ignore directives. It must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph description shown by `pmemlint -help`.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings
+	// through pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, attributed to the analyzer that made it.
+type Diagnostic struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// A Unit is one loaded, type-checked package — the input to Run.
+// Drivers (cmd/pmemlint, analysistest) build Units; analyzers consume
+// them through a Pass.
+type Unit struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// Path overrides Pkg.Path() for scope decisions when set. The vet
+	// driver uses it to strip test-variant decorations such as
+	// "pkg [pkg.test]".
+	Path string
+}
+
+// PkgPath returns the import path used for analyzer scoping.
+func (u *Unit) PkgPath() string {
+	if u.Path != "" {
+		return u.Path
+	}
+	return u.Pkg.Path()
+}
+
+// A Pass connects one Analyzer to one Unit.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// PkgPath is the import path for scope decisions (see Unit.Path).
+	PkgPath string
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The
+// determinism rules govern production code; tests are free to use wall
+// clocks and unsorted maps.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Preorder calls fn for every node of every non-test file, in source
+// order. It is the common traversal all four analyzers share.
+func (p *Pass) Preorder(fn func(ast.Node)) {
+	for _, f := range p.Files {
+		if p.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n != nil {
+				fn(n)
+			}
+			return true
+		})
+	}
+}
+
+// Run applies every analyzer to the unit, collects diagnostics, applies
+// //pmemlint:ignore directives, and returns the surviving diagnostics
+// sorted by position. Malformed directives are returned as diagnostics
+// of the pseudo-analyzer "pmemlint".
+func Run(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      u.Fset,
+			Files:     u.Files,
+			Pkg:       u.Pkg,
+			TypesInfo: u.Info,
+			PkgPath:   u.PkgPath(),
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, u.PkgPath(), err)
+		}
+	}
+	ignores, bad := collectIgnores(u.Fset, u.Files)
+	diags = filterIgnored(diags, ignores)
+	diags = append(diags, bad...)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

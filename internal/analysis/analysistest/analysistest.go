@@ -1,0 +1,217 @@
+// Package analysistest runs an analyzer over fixture packages rooted
+// at testdata/src, mirroring golang.org/x/tools/go/analysis/analysistest
+// with the standard library only.
+//
+// Fixtures declare expected findings with trailing comments in the
+// x/tools syntax:
+//
+//	for k := range m { // want `iteration over map`
+//
+// Each quoted string (Go-quoted or backquoted) is a regular expression
+// that must match the message of exactly one diagnostic reported on
+// that line; diagnostics with no matching expectation, and expectations
+// with no matching diagnostic, both fail the test.
+//
+// Fixture import paths resolve under testdata/src first (so fixtures
+// can model module packages such as "pmemsched/internal/units"), and
+// fall back to the standard library via the compiler "source" importer,
+// which type-checks GOROOT sources and therefore needs no pre-compiled
+// export data or network access.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pmemsched/internal/analysis"
+)
+
+// Run loads each fixture package and checks the analyzer's diagnostics
+// against the // want expectations in its sources.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, importPaths ...string) {
+	t.Helper()
+	ld := &loader{
+		root:   filepath.Join(testdata, "src"),
+		fset:   token.NewFileSet(),
+		loaded: make(map[string]*loadedPkg),
+	}
+	ld.std = importer.ForCompiler(ld.fset, "source", nil)
+	for _, path := range importPaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		unit := &analysis.Unit{Fset: ld.fset, Files: pkg.files, Pkg: pkg.pkg, Info: pkg.info}
+		diags, err := analysis.Run(unit, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		checkExpectations(t, ld.fset, pkg.files, diags)
+	}
+}
+
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	root   string
+	fset   *token.FileSet
+	std    types.Importer
+	loaded map[string]*loadedPkg
+}
+
+// Import resolves an import either to a fixture package under
+// testdata/src or to the standard library.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(ld.root, filepath.FromSlash(path)); dirExists(dir) {
+		p, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *loader) load(path string) (*loadedPkg, error) {
+	if p, ok := ld.loaded[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(ld.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: ld}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &loadedPkg{pkg: pkg, files: files, info: info}
+	ld.loaded[path] = p
+	return p, nil
+}
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile(`(?m)//\s*want\s+(.*)$`)
+
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, raw := range splitQuoted(t, pos, m[1]) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// splitQuoted parses the sequence of Go-quoted or backquoted strings
+// after "want".
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		quoted, rest, err := cutQuoted(s)
+		if err != nil {
+			t.Fatalf("%s: bad want clause %q: %v", pos, s, err)
+		}
+		out = append(out, quoted)
+		s = rest
+	}
+}
+
+func cutQuoted(s string) (string, string, error) {
+	prefix, err := strconv.QuotedPrefix(s)
+	if err != nil {
+		return "", "", err
+	}
+	unq, err := strconv.Unquote(prefix)
+	if err != nil {
+		return "", "", err
+	}
+	return unq, s[len(prefix):], nil
+}

@@ -1,0 +1,12 @@
+package fingerprint_test
+
+import (
+	"testing"
+
+	"pmemsched/internal/analysis/analysistest"
+	"pmemsched/internal/analysis/fingerprint"
+)
+
+func TestFingerprint(t *testing.T) {
+	analysistest.Run(t, "testdata", fingerprint.Analyzer, "internal/core")
+}

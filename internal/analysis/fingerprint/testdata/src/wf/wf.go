@@ -1,0 +1,23 @@
+// Package wf is a fingerprint fixture standing in for
+// pmemsched/internal/workflow: the structs whose exported fields a
+// cache key must cover.
+package wf
+
+type Object struct {
+	Bytes int64
+	Count int
+}
+
+type Component struct {
+	Name    string
+	Compute float64
+	Objects []Object
+
+	scratch int // unexported: not part of the cache-key contract
+}
+
+type Spec struct {
+	Name      string
+	Component Component
+	Ranks     int
+}

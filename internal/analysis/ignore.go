@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const ignorePrefix = "//pmemlint:ignore"
+
+// ignoreDirective is one parsed //pmemlint:ignore comment.
+type ignoreDirective struct {
+	analyzers []string // named analyzers, or ["all"]
+	// ownLine: the directive suppresses diagnostics on this line...
+	file string
+	line int
+	// ...and, when the comment stands alone on its line, also the next.
+	alone bool
+}
+
+func (d ignoreDirective) matches(analyzer string) bool {
+	for _, a := range d.analyzers {
+		if a == analyzer || a == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// collectIgnores scans every comment of every file for ignore
+// directives. Malformed directives (no analyzer list, or no reason)
+// come back as diagnostics so they fail the lint run instead of
+// silently suppressing nothing — an unexplained exception is exactly
+// the kind of drift the directive exists to prevent.
+func collectIgnores(fset *token.FileSet, files []*ast.File) ([]ignoreDirective, []Diagnostic) {
+	var dirs []ignoreDirective
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //pmemlint:ignoreXYZ — not ours
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:      pos,
+						Message:  "malformed directive: want //pmemlint:ignore <analyzer>[,<analyzer>] <reason>",
+						Analyzer: "pmemlint",
+					})
+					continue
+				}
+				dirs = append(dirs, ignoreDirective{
+					analyzers: strings.Split(fields[0], ","),
+					file:      pos.Filename,
+					line:      pos.Line,
+					alone:     pos.Column == 1 || onlyCommentOnLine(fset, f, c),
+				})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// onlyCommentOnLine reports whether no non-comment code shares the
+// comment's line, i.e. the directive applies to the following line.
+func onlyCommentOnLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	line := fset.Position(c.Pos()).Line
+	alone := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !alone {
+			return false
+		}
+		if _, isComment := n.(*ast.Comment); isComment {
+			return true
+		}
+		if _, isGroup := n.(*ast.CommentGroup); isGroup {
+			return true
+		}
+		if _, isFile := n.(*ast.File); isFile {
+			return true
+		}
+		start := fset.Position(n.Pos()).Line
+		end := fset.Position(n.End()).Line
+		if start <= line && line <= end {
+			// A multi-line node spanning the comment's line doesn't make
+			// the comment "attached" unless a token starts or ends there;
+			// checking leaf nodes is enough for that, so only mark when
+			// the node itself begins or ends on the line.
+			if start == line || end == line {
+				alone = false
+				return false
+			}
+		}
+		return true
+	})
+	return alone
+}
+
+// filterIgnored drops diagnostics covered by a matching directive on
+// the same line, or on the preceding line when the directive stood
+// alone there.
+func filterIgnored(diags []Diagnostic, dirs []ignoreDirective) []Diagnostic {
+	if len(dirs) == 0 {
+		return diags
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, dir := range dirs {
+			if dir.file != d.Pos.Filename || !dir.matches(d.Analyzer) {
+				continue
+			}
+			if dir.line == d.Pos.Line || (dir.alone && dir.line == d.Pos.Line-1) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

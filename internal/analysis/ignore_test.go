@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// litMarker reports a diagnostic at every integer literal — enough
+// surface to exercise the suppression directive from every angle.
+var litMarker = &Analyzer{
+	Name: "litmarker",
+	Doc:  "test analyzer: flags every int literal",
+	Run: func(p *Pass) error {
+		p.Preorder(func(n ast.Node) {
+			if lit, ok := n.(*ast.BasicLit); ok && lit.Kind == token.INT {
+				p.Reportf(lit.Pos(), "literal %s", lit.Value)
+			}
+		})
+		return nil
+	},
+}
+
+const ignoreSrc = `package p
+
+var a = 1
+var b = 2 //pmemlint:ignore litmarker trailing directive covers its own line
+
+//pmemlint:ignore litmarker standalone directive covers the next line
+var c = 3
+var d = 4 //pmemlint:ignore other wrong analyzer, not suppressed
+var e = 5 //pmemlint:ignore all "all" suppresses every analyzer
+
+//pmemlint:ignore litmarker,other comma list names several analyzers
+var f = 6
+
+//pmemlint:ignore litmarker
+var g = 7
+
+//pmemlint:ignore litmarker the gap line breaks adjacency
+
+var h = 8
+`
+
+func runOnSource(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := &Unit{Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info}
+	diags, err := Run(unit, []*Analyzer{litMarker})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+func TestIgnoreDirective(t *testing.T) {
+	diags := runOnSource(t, ignoreSrc)
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Message)
+	}
+	// Suppressed: 2 (trailing), 3 (standalone above), 5 (all), 6 (comma
+	// list). Kept: 1 (no directive), 4 (wrong analyzer), 8 (blank line
+	// breaks adjacency). 7 is kept too: the directive has no reason, so
+	// it is malformed and suppresses nothing.
+	want := []string{"literal 1", "literal 4", "literal 7", "literal 8"}
+	malformed := 0
+	var kept []string
+	for _, d := range diags {
+		if d.Analyzer == "pmemlint" {
+			malformed++
+			if !strings.Contains(d.Message, "malformed directive") {
+				t.Errorf("unexpected pmemlint diagnostic: %s", d)
+			}
+			continue
+		}
+		kept = append(kept, d.Message)
+	}
+	if malformed != 1 {
+		t.Errorf("got %d malformed-directive diagnostics, want 1 (for the reason-less directive); all: %v", malformed, got)
+	}
+	if len(kept) != len(want) {
+		t.Fatalf("kept diagnostics = %v, want %v", kept, want)
+	}
+	for i := range want {
+		if kept[i] != want[i] {
+			t.Errorf("kept[%d] = %q, want %q", i, kept[i], want[i])
+		}
+	}
+}
+
+func TestIgnoreDirectiveMalformedPosition(t *testing.T) {
+	src := "package p\n\n//pmemlint:ignore\nvar x = 9\n"
+	diags := runOnSource(t, src)
+	foundBad, foundLit := false, false
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "pmemlint":
+			foundBad = true
+			if d.Pos.Line != 3 {
+				t.Errorf("malformed directive reported at line %d, want 3", d.Pos.Line)
+			}
+		case "litmarker":
+			foundLit = true
+		}
+	}
+	if !foundBad || !foundLit {
+		t.Errorf("want both a malformed-directive diagnostic and the unsuppressed literal, got %v", diags)
+	}
+}

@@ -1,0 +1,135 @@
+// Package load turns `go list` package patterns into type-checked
+// analysis.Units without golang.org/x/tools. It shells out to the go
+// command twice: once to resolve the target patterns, and once with
+// -deps -export to obtain compiled export data for every dependency,
+// which feeds the standard gc importer. Everything comes from the local
+// build cache, so loading works offline.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+
+	"pmemsched/internal/analysis"
+)
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+}
+
+// Packages loads and type-checks every package matching the patterns.
+func Packages(patterns []string) ([]*analysis.Unit, error) {
+	targets, err := goList(append([]string{"-json=ImportPath"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	isTarget := make(map[string]bool, len(targets))
+	for _, t := range targets {
+		isTarget[t.ImportPath] = true
+	}
+	// -export compiles (or reuses from the build cache) every package,
+	// giving us an export-data file per dependency for the gc importer.
+	all, err := goList(append([]string{"-deps", "-export", "-json=ImportPath,Dir,GoFiles,Export,Standard"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(all))
+	for _, p := range all {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var units []*analysis.Unit
+	for _, p := range all {
+		if !isTarget[p.ImportPath] || len(p.GoFiles) == 0 {
+			continue
+		}
+		unit, err := check(fset, imp, p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, unit)
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i].PkgPath() < units[j].PkgPath() })
+	return units, nil
+}
+
+// Check parses and type-checks one package unit from explicit file
+// lists — shared by Packages and the vet-mode driver.
+func Check(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*analysis.Unit, error) {
+	return check(fset, imp, path, dir, goFiles)
+}
+
+func check(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*analysis.Unit, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return &analysis.Unit{Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+func goList(args []string) ([]listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, errBuf.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("parsing go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

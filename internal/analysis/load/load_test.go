@@ -1,0 +1,49 @@
+package load_test
+
+import (
+	"testing"
+
+	"pmemsched/internal/analysis/load"
+)
+
+// TestPackagesLoadsModulePackages smoke-tests the go-list-backed
+// loader the standalone pmemlint driver uses: real module packages,
+// type-checked against export data from the build cache.
+func TestPackagesLoadsModulePackages(t *testing.T) {
+	units, err := load.Packages([]string{"pmemsched/internal/units", "pmemsched/internal/core"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 2 {
+		t.Fatalf("loaded %d units, want 2", len(units))
+	}
+	byPath := map[string]bool{}
+	for _, u := range units {
+		byPath[u.PkgPath()] = true
+		if len(u.Files) == 0 {
+			t.Errorf("%s: no files parsed", u.PkgPath())
+		}
+		if u.Pkg == nil || u.Info == nil || len(u.Info.Defs) == 0 {
+			t.Errorf("%s: missing type information", u.PkgPath())
+		}
+		for _, f := range u.Files {
+			name := u.Fset.Position(f.Pos()).Filename
+			if len(name) == 0 {
+				t.Errorf("%s: file with no position info", u.PkgPath())
+			}
+		}
+	}
+	for _, want := range []string{"pmemsched/internal/units", "pmemsched/internal/core"} {
+		if !byPath[want] {
+			t.Errorf("missing unit for %s (got %v)", want, byPath)
+		}
+	}
+}
+
+// TestPackagesBadPattern: a nonexistent package must error, not load
+// zero units silently — CI relies on a non-zero exit to gate merges.
+func TestPackagesBadPattern(t *testing.T) {
+	if _, err := load.Packages([]string{"pmemsched/internal/nonexistent"}); err == nil {
+		t.Fatal("expected error for nonexistent package pattern")
+	}
+}

@@ -1,0 +1,129 @@
+// Package mapiter defines an analyzer that flags `for range` iteration
+// over maps in report- and result-assembly code, where Go's randomized
+// map order turns into nondeterministic output — the exact bug class
+// fixed by hand in core.BestFixed's tie-break and the autosched
+// example's config printout (PR 1).
+package mapiter
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"pmemsched/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc: `flag map iteration in report/result-assembly packages
+
+Iterating a map accumulates or emits values in randomized order, so any
+slice, string, total or printed report built inside such a loop is
+nondeterministic. Collect the keys, sort them, and iterate the sorted
+slice instead. The one recognized exception is the collect-then-sort
+idiom itself: a loop whose body only appends the key to a slice.`,
+	Run: run,
+}
+
+// scopeRE matches the packages whose output is part of the repo's
+// deterministic-results contract: the run engine and its reports
+// (internal/core), the experiment harness (internal/experiments), and
+// every CLI and example binary.
+var scopeRE = regexp.MustCompile(`(^|/)(cmd|examples)(/|$)|internal/(core|experiments)$`)
+
+func run(pass *analysis.Pass) error {
+	if !scopeRE.MatchString(pass.PkgPath) {
+		return nil
+	}
+	pass.Preorder(func(n ast.Node) {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			return
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return
+		}
+		if !bindsVar(rng.Key) && !bindsVar(rng.Value) {
+			// `for range m { n++ }` runs len(m) identical iterations;
+			// without loop variables no order dependence is possible.
+			return
+		}
+		if isKeyCollectLoop(pass, rng) {
+			return
+		}
+		pass.Reportf(rng.For, "iteration over map %s has nondeterministic order; collect and sort the keys first, or annotate with //pmemlint:ignore mapiter <reason>", types.ExprString(rng.X))
+	})
+	return nil
+}
+
+// isKeyCollectLoop recognizes the sanctioned idiom
+//
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//
+// i.e. a body consisting solely of statements that append the key
+// variable to a slice. Order still leaks into the slice, but the idiom
+// exists only to feed a sort, and flagging it would force an ignore
+// comment onto every legitimate sort site.
+func isKeyCollectLoop(pass *analysis.Pass, rng *ast.RangeStmt) bool {
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || rng.Value != nil || len(rng.Body.List) == 0 {
+		return false
+	}
+	keyObj := pass.TypesInfo.Defs[key]
+	if keyObj == nil {
+		return false
+	}
+	for _, stmt := range rng.Body.List {
+		asg, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+			return false
+		}
+		call, ok := asg.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			return false
+		}
+		if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+			return false
+		}
+		dst, ok := asg.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		src, ok := call.Args[0].(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[src] == nil || pass.TypesInfo.Uses[src] != objectOf(pass, dst) {
+			return false
+		}
+		arg, ok := call.Args[1].(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[arg] != keyObj {
+			return false
+		}
+	}
+	return true
+}
+
+// bindsVar reports whether a range clause expression actually binds an
+// iteration variable (i.e. is present and not the blank identifier).
+func bindsVar(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	id, ok := e.(*ast.Ident)
+	return !ok || id.Name != "_"
+}
+
+func objectOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if o := pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Defs[id]
+}

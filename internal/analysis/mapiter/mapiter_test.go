@@ -1,0 +1,12 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"pmemsched/internal/analysis/analysistest"
+	"pmemsched/internal/analysis/mapiter"
+)
+
+func TestMapIter(t *testing.T) {
+	analysistest.Run(t, "testdata", mapiter.Analyzer, "cmd/report", "somelib")
+}

@@ -1,0 +1,59 @@
+// Package report is a mapiter fixture modelling a result-assembly
+// package (its import path sits under cmd/, which is in scope).
+package report
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Totals accumulates over a map: float addition is not associative, so
+// the sum depends on iteration order.
+func Totals(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `iteration over map m has nondeterministic order`
+		total += v
+	}
+	return total
+}
+
+// Keys is the sanctioned collect-then-sort idiom: not flagged.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Print emits map entries directly: flagged.
+func Print(m map[string]float64) {
+	for k, v := range m { // want `iteration over map m has nondeterministic order`
+		fmt.Println(k, v)
+	}
+}
+
+// Count binds no iteration variable, so order cannot leak: not flagged.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Reset mutates values without reading order, but binds the key, so it
+// needs an explicit, audited exception.
+func Reset(m map[string]int) {
+	for k := range m { //pmemlint:ignore mapiter write-only pass, order cannot reach any output
+		m[k] = 0
+	}
+}
+
+// Slices range over slices, not maps: never flagged.
+func Slices(s []string) {
+	for i, v := range s {
+		fmt.Println(i, v)
+	}
+}

@@ -1,0 +1,11 @@
+// Package somelib is outside the report/result-assembly scope, so its
+// map iteration is not mapiter's business.
+package somelib
+
+func Sum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,41 @@
+// Package dev is a unitsafety fixture: a device model whose setters
+// take calibrated parameters.
+package dev
+
+import "pmemsched/internal/units"
+
+type Model struct {
+	ReadMax float64
+	LatRead float64
+}
+
+func SetReadGBps(m *Model, readGBps float64) { m.ReadMax = readGBps }
+func SetReadLatNs(m *Model, latNs float64)   { m.LatRead = latNs }
+func Throttle(b units.Bandwidth) float64     { return float64(b) }
+func Scale(m *Model, factor float64)         { m.ReadMax *= factor }
+func Sum(parts ...float64) (t float64) {
+	for _, p := range parts {
+		t += p
+	}
+	return
+}
+
+type Dev struct{ m Model }
+
+func (d *Dev) TuneWriteGBps(writeGBps float64) { d.m.ReadMax = writeGBps }
+
+func Configure() {
+	m := &Model{}
+	SetReadGBps(m, 39.4)                      // want `raw numeric literal 39\.4 passed to calibrated parameter "readGBps"`
+	SetReadGBps(m, 39.4*units.GBps)           // unit-carrying expression: ok
+	SetReadLatNs(m, 169)                      // want `raw numeric literal 169 passed to calibrated parameter "latNs"`
+	SetReadLatNs(m, 0)                        // zero means disabled: ok
+	SetReadLatNs(m, -(5))                     // want `raw numeric literal -\(5\) passed to calibrated parameter "latNs"`
+	Throttle(3)                               // want `raw numeric literal 3 passed to calibrated parameter "b"`
+	Throttle(units.Bandwidth(3 * units.GBps)) // conversion carries the unit: ok
+	Scale(m, 2)                               // plain parameter: ok
+	Sum(1, 2, 3)                              // variadic, uncalibrated: ok
+	d := &Dev{}
+	d.TuneWriteGBps(13.9) // want `raw numeric literal 13\.9 passed to calibrated parameter "writeGBps"`
+	d.TuneWriteGBps(13.9) //pmemlint:ignore unitsafety calibration sentinel in a doc example
+}

@@ -1,0 +1,13 @@
+// Package units is a unitsafety fixture standing in for the real
+// pmemsched/internal/units (the import-path suffix is what the
+// analyzer keys on).
+package units
+
+const (
+	GBps       float64 = 1e9
+	Nanosecond float64 = 1e-9
+)
+
+// Bandwidth is a calibrated named type: literals must not be passed to
+// parameters of this type directly.
+type Bandwidth float64

@@ -1,0 +1,139 @@
+// Package unitsafety defines an analyzer that steers calibrated
+// quantities through internal/units. The device model's constants are
+// meaningful only because they carry their unit in the expression
+// (39.4*units.GBps, 169*units.Nanosecond); a bare literal like 3.94e10
+// passed to a bandwidth parameter is unreviewable and one slipped
+// decimal away from a silently wrong calibration.
+package unitsafety
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"pmemsched/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "unitsafety",
+	Doc: `flag raw numeric literals passed to calibrated parameters
+
+A call argument that is a bare numeric literal (possibly negated) is
+flagged when the corresponding parameter is calibrated: its name ends
+in GBps/MBps/KBps/Bps (a bandwidth) or Ns/Nanos (a latency), or its
+type is declared in an internal/units package. Write the quantity as
+value*units.Unit so the unit is visible at the call site. Zero is
+exempt — it means "disabled" in every unit system.`,
+	Run: run,
+}
+
+// calibratedName matches parameter names that embed a unit suffix.
+var calibratedName = regexp.MustCompile(`([GMK]?Bps|Ns|Nanos)$`)
+
+func run(pass *analysis.Pass) error {
+	pass.Preorder(func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sig := calleeSignature(pass, call)
+		if sig == nil {
+			return
+		}
+		for i, arg := range call.Args {
+			param := paramAt(sig, i, call)
+			if param == nil || !calibrated(param) {
+				continue
+			}
+			if lit := rawLiteral(arg); lit != nil && !isZero(lit) {
+				pass.Reportf(arg.Pos(), "raw numeric literal %s passed to calibrated parameter %q; write it as value*units.Unit (see internal/units), or annotate with //pmemlint:ignore unitsafety <reason>", types.ExprString(arg), param.Name())
+			}
+		}
+	})
+	return nil
+}
+
+// calleeSignature resolves the called function's signature, if the
+// callee is a function or method (not a type conversion or builtin).
+func calleeSignature(pass *analysis.Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return nil
+	}
+	return sig
+}
+
+// paramAt maps argument index i to its parameter, folding variadic
+// tails onto the final parameter. A call spreading a slice with ... is
+// not literal-by-literal checkable and yields the variadic parameter
+// only for in-range indices.
+func paramAt(sig *types.Signature, i int, call *ast.CallExpr) *types.Var {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= params.Len()-1 {
+		if call.Ellipsis != token.NoPos {
+			return nil
+		}
+		return params.At(params.Len() - 1)
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i)
+}
+
+// calibrated reports whether the parameter's name or type marks it as a
+// calibrated quantity.
+func calibrated(p *types.Var) bool {
+	if calibratedName.MatchString(p.Name()) {
+		return true
+	}
+	t := p.Type()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil {
+			path := pkg.Path()
+			return path == "units" || strings.HasSuffix(path, "/units")
+		}
+	}
+	return false
+}
+
+// rawLiteral returns the numeric literal behind arg (unwrapping unary
+// +/- and parentheses), or nil if arg is any other expression.
+func rawLiteral(arg ast.Expr) *ast.BasicLit {
+	switch e := arg.(type) {
+	case *ast.BasicLit:
+		if e.Kind == token.INT || e.Kind == token.FLOAT {
+			return e
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return rawLiteral(e.X)
+		}
+	case *ast.ParenExpr:
+		return rawLiteral(e.X)
+	}
+	return nil
+}
+
+func isZero(lit *ast.BasicLit) bool {
+	for _, r := range lit.Value {
+		switch r {
+		case '0', '.', '_':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,12 @@
+package unitsafety_test
+
+import (
+	"testing"
+
+	"pmemsched/internal/analysis/analysistest"
+	"pmemsched/internal/analysis/unitsafety"
+)
+
+func TestUnitSafety(t *testing.T) {
+	analysistest.Run(t, "testdata", unitsafety.Analyzer, "dev")
+}

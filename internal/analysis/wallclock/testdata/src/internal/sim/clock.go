@@ -1,0 +1,44 @@
+// Package sim is a wallclock fixture modelling a deterministic kernel
+// package (its import path ends in internal/sim, which is in scope).
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Kernel shows the sanctioned pattern: a seeded generator injected at
+// construction. Type references and constructor calls are allowed.
+type Kernel struct {
+	rng *rand.Rand
+	now float64
+}
+
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Step draws from the injected generator: methods on *rand.Rand are
+// fine, only package-level functions touch the global source.
+func (k *Kernel) Step() float64 {
+	k.now += k.rng.Float64()
+	return k.now
+}
+
+// Elapsed converts a duration; time.Duration arithmetic is allowed.
+func Elapsed(d time.Duration) float64 {
+	return d.Seconds()
+}
+
+func bad() float64 {
+	t := time.Now()       // want `time\.Now reads the wall clock inside the deterministic kernel`
+	_ = time.Since(t)     // want `time\.Since reads the wall clock inside the deterministic kernel`
+	_ = rand.Intn(4)      // want `rand\.Intn draws from the global, unseeded source`
+	return rand.Float64() // want `rand\.Float64 draws from the global, unseeded source`
+}
+
+// stamp is an audited exception: wall time feeds a log label only, not
+// any simulated quantity.
+func stamp() string {
+	return time.Now().String() //pmemlint:ignore wallclock log label only, never enters a Result
+}

@@ -1,0 +1,8 @@
+// Package gen is outside the kernel scope: wall clocks are allowed.
+package gen
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,12 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"pmemsched/internal/analysis/analysistest"
+	"pmemsched/internal/analysis/wallclock"
+)
+
+func TestWallClock(t *testing.T) {
+	analysistest.Run(t, "testdata", wallclock.Analyzer, "internal/sim", "tools/gen")
+}
