@@ -139,3 +139,8 @@ func BenchmarkJitterRobustness(b *testing.B) { benchExperiment(b, "jitter") }
 // BenchmarkPlacementSpace regenerates the four-socket deployment-space
 // search (validating the paper's Fig 2 pruning).
 func BenchmarkPlacementSpace(b *testing.B) { benchExperiment(b, "placement") }
+
+// BenchmarkOnlineSched runs the bundled 18-workload arrival trace
+// through the online cluster scheduler at every load factor, comparing
+// the PMEM-aware policy against each fixed site-wide configuration.
+func BenchmarkOnlineSched(b *testing.B) { benchExperiment(b, "online") }

@@ -1,0 +1,137 @@
+// Command wfsched runs the online multi-node cluster scheduler over a
+// job arrival trace and reports per-job queueing metrics (wait,
+// turnaround, bounded slowdown) and per-node utilization.
+//
+// Usage:
+//
+//	wfsched                              # bundled 18-workload suite trace, pmem-aware, 2 nodes
+//	wfsched -policy easy -config S-LocW  # EASY backfill under one fixed configuration
+//	wfsched -jobs 8 -seed 3              # 8-job synthetic trace sampled from the suite
+//	wfsched -trace trace.json -nodes 4   # a custom JSON trace (see internal/cluster.ReadTrace)
+//	wfsched -format json                 # machine-readable report (byte-identical per seed)
+//	wfsched -dump-trace trace.json       # write the generated trace for reuse
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pmemsched"
+	"pmemsched/internal/cluster"
+	"pmemsched/internal/core"
+	"pmemsched/internal/stack"
+	"pmemsched/internal/stack/nova"
+	"pmemsched/internal/stack/nvstream"
+	"pmemsched/internal/workloads"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "JSON job trace (default: a synthetic trace, see -jobs)")
+	jobs := flag.Int("jobs", 0, "synthetic trace size; 0 = the bundled 18-workload suite trace (one of each)")
+	interarrival := flag.Float64("interarrival", 60, "synthetic mean inter-arrival time in seconds (Poisson arrivals)")
+	nodes := flag.Int("nodes", 2, "cluster size")
+	policyName := flag.String("policy", "pmem-aware", "scheduling policy: fcfs, easy or pmem-aware")
+	configName := flag.String("config", "S-LocW", "fixed site-wide configuration for fcfs/easy (S-LocW, S-LocR, P-LocW, P-LocR)")
+	seed := flag.Int64("seed", 1, "synthetic trace seed (same seed = byte-identical trace and report)")
+	parallel := flag.Int("parallel", 0, "run-engine worker pool size (0 = GOMAXPROCS)")
+	format := flag.String("format", "text", "output format: text, csv or json")
+	stackName := flag.String("stack", "nova", "storage stack: nova or nvstream")
+	dumpTrace := flag.String("dump-trace", "", "also write the job trace as JSON to this path")
+	flag.Parse()
+
+	env, err := envFor(*stackName)
+	if err != nil {
+		fatal(err)
+	}
+	fixed, err := core.ParseConfig(*configName)
+	if err != nil {
+		fatal(err)
+	}
+	policy, err := cluster.ParsePolicy(*policyName, fixed)
+	if err != nil {
+		fatal(err)
+	}
+
+	var tr cluster.Trace
+	switch {
+	case *tracePath != "":
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err = cluster.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	case *jobs > 0:
+		tr, err = cluster.Synthetic(workloads.Suite(), cluster.SyntheticConfig{
+			Jobs:                    *jobs,
+			MeanInterarrivalSeconds: *interarrival,
+			Seed:                    *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		tr, err = cluster.SuiteTrace(*seed, *interarrival)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *dumpTrace != "" {
+		f, err := os.Create(*dumpTrace)
+		if err != nil {
+			fatal(err)
+		}
+		if err := cluster.WriteTrace(f, tr); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	rt := core.NewRunner(env, *parallel)
+	metrics, err := cluster.Simulate(tr, cluster.Options{
+		Nodes:     *nodes,
+		Policy:    policy,
+		Estimator: cluster.NewEstimator(rt),
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *format {
+	case "text":
+		err = metrics.Render(os.Stdout)
+	case "csv":
+		err = metrics.WriteCSV(os.Stdout)
+	case "json":
+		err = metrics.WriteJSON(os.Stdout)
+	default:
+		err = fmt.Errorf("unknown format %q (want text, csv or json)", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func envFor(name string) (core.Env, error) {
+	env := pmemsched.DefaultEnv()
+	switch name {
+	case "nova":
+		env.NewStack = func() stack.Instance { return nova.Default() }
+	case "nvstream":
+		env.NewStack = func() stack.Instance { return nvstream.Default() }
+	default:
+		return env, fmt.Errorf("unknown stack %q (want nova or nvstream)", name)
+	}
+	return env, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wfsched:", err)
+	os.Exit(2)
+}

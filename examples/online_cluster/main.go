@@ -1,0 +1,79 @@
+// Online cluster scheduling: stream the paper's 18-workload suite at a
+// 2-node cluster and watch the PMEM-aware policy — per-job Table II
+// configuration decisions inside an EASY-backfill loop — beat every
+// fixed site-wide configuration on queueing metrics.
+//
+// The walkthrough builds the bundled arrival trace (seeded, so every
+// run of this example prints exactly the same report), simulates it
+// under a fixed-configuration baseline and under the PMEM-aware
+// policy, and prints the per-job schedule and the aggregate
+// comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pmemsched"
+	"pmemsched/internal/cluster"
+)
+
+func main() {
+	// One run engine for everything: every policy's duration estimates
+	// and the recommender's profiling runs share its memoizing cache,
+	// so the whole comparison costs one sweep of the suite.
+	rt := pmemsched.NewRunner(pmemsched.DefaultEnv(), 0)
+	est := cluster.NewEstimator(rt)
+
+	// The bundled trace: each suite workflow once, seeded random order,
+	// Poisson arrivals with a 5s mean — enough pressure on two nodes
+	// that configuration choice compounds into queueing delay.
+	tr, err := cluster.SuiteTrace(7, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("arrival trace (first 6 jobs):")
+	for _, j := range tr.Jobs[:6] {
+		fmt.Printf("  t=%7.2fs  job %-2d  %s\n", j.ArrivalSeconds, j.ID, j.Workflow)
+	}
+	fmt.Printf("  ... %d jobs total\n\n", len(tr.Jobs))
+
+	// Baseline: EASY backfilling with one configuration for every job,
+	// the site-wide default an operator would hard-code.
+	baseline, err := cluster.Simulate(tr, cluster.Options{
+		Nodes:     2,
+		Policy:    cluster.EASY(pmemsched.SLocW),
+		Estimator: est,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// PMEM-aware: identical queueing discipline, but each job runs
+	// under the configuration Table II recommends for its features.
+	aware, err := cluster.Simulate(tr, cluster.Options{
+		Nodes:     2,
+		Policy:    cluster.PMEMAware(),
+		Estimator: est,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("pmem-aware schedule:")
+	for _, r := range aware.Records {
+		fmt.Printf("  job %-2d %-22s -> node %d %-7s start %7.2fs wait %6.2fs bsld %.3f\n",
+			r.ID, r.Workflow, r.Node, r.Config, r.StartSeconds, r.WaitSeconds, r.BoundedSlowdown)
+	}
+
+	b, a := baseline.Summary(), aware.Summary()
+	fmt.Printf("\n%-12s %14s %14s %12s %10s\n", "policy", "mean wait (s)", "mean bsld", "makespan", "util")
+	for _, s := range []cluster.Summary{b, a} {
+		fmt.Printf("%-12s %14.2f %14.3f %11.2fs %9.1f%%\n",
+			s.Policy, s.MeanWaitSeconds, s.MeanBoundedSlowdown, s.MakespanSeconds, 100*s.MeanUtilization)
+	}
+	fmt.Printf("\nPMEM-aware cuts mean bounded slowdown by %.0f%% and mean wait by %.0f%% versus the fixed default.\n",
+		100*(1-a.MeanBoundedSlowdown/b.MeanBoundedSlowdown),
+		100*(1-a.MeanWaitSeconds/b.MeanWaitSeconds))
+}

@@ -27,9 +27,10 @@ idiom itself: a loop whose body only appends the key to a slice.`,
 
 // scopeRE matches the packages whose output is part of the repo's
 // deterministic-results contract: the run engine and its reports
-// (internal/core), the experiment harness (internal/experiments), and
-// every CLI and example binary.
-var scopeRE = regexp.MustCompile(`(^|/)(cmd|examples)(/|$)|internal/(core|experiments)$`)
+// (internal/core), the experiment harness (internal/experiments), the
+// cluster scheduler and its metrics (internal/cluster), and every CLI
+// and example binary.
+var scopeRE = regexp.MustCompile(`(^|/)(cmd|examples)(/|$)|internal/(core|experiments|cluster)$`)
 
 func run(pass *analysis.Pass) error {
 	if !scopeRE.MatchString(pass.PkgPath) {

@@ -17,7 +17,8 @@ var Analyzer = &analysis.Analyzer{
 	Name: "wallclock",
 	Doc: `forbid wall-clock reads and unseeded randomness in kernel packages
 
-Inside internal/sim, internal/core, internal/pmem and internal/workflow,
+Inside internal/sim, internal/core, internal/pmem, internal/workflow and
+internal/cluster,
 calls to time.Now/Since/Until and to package-level math/rand functions
 (which draw from the process-global, randomly-seeded source) make
 results depend on when and where the process runs. Thread an explicit
@@ -28,8 +29,9 @@ rand.NewSource are therefore allowed.`,
 }
 
 // scopeRE matches the deterministic kernel: the fluid simulator, the
-// run engine, the device model and the workflow compiler.
-var scopeRE = regexp.MustCompile(`internal/(sim|core|pmem|workflow)$`)
+// run engine, the device model, the workflow compiler and the cluster
+// scheduler (whose virtual clock must never touch the real one).
+var scopeRE = regexp.MustCompile(`internal/(sim|core|pmem|workflow|cluster)$`)
 
 // bannedTime are the time-package functions that read the wall clock.
 var bannedTime = map[string]bool{"Now": true, "Since": true, "Until": true}

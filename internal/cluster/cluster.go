@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"fmt"
+
+	"pmemsched/internal/core"
+	"pmemsched/internal/workflow"
+)
+
+// Estimator supplies the scheduler's cost model: how long a workflow
+// runs under a configuration, and which configuration Table II
+// recommends for it. The production implementation wraps core.Runner,
+// so repeated specs in a trace cost one simulation; tests substitute
+// canned durations to craft queueing scenarios.
+//
+// The cluster model treats estimates as exact — the simulator that
+// produces them is the same deterministic cost model the cluster is
+// built on, so there is no estimate/actual gap (classic batch
+// schedulers contend with user-provided walltime requests; modeling
+// request error is future work).
+type Estimator interface {
+	// Estimate returns the workflow's end-to-end runtime in seconds
+	// under the configuration, on a dedicated node.
+	Estimate(wf workflow.Spec, cfg core.Config) (float64, error)
+	// Recommend returns the Table II configuration for the workflow
+	// (profiling + classification, memoized by the run engine).
+	Recommend(wf workflow.Spec) (core.Config, error)
+}
+
+// runnerEstimator is the production Estimator: durations are memoized
+// simulated executions and recommendations come from the paper's
+// classify-then-match pipeline.
+type runnerEstimator struct {
+	rt *core.Runner
+}
+
+// NewEstimator builds the production estimator over a run engine. All
+// nodes of a homogeneous cluster share the engine's cache, so a trace
+// that repeats a spec simulates it once per configuration consulted.
+func NewEstimator(rt *core.Runner) Estimator {
+	return runnerEstimator{rt: rt}
+}
+
+func (e runnerEstimator) Estimate(wf workflow.Spec, cfg core.Config) (float64, error) {
+	res, err := e.rt.Run(wf, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return res.TotalSeconds, nil
+}
+
+func (e runnerEstimator) Recommend(wf workflow.Spec) (core.Config, error) {
+	rec, err := e.rt.RecommendWorkflow(wf)
+	if err != nil {
+		return core.Config{}, err
+	}
+	return rec.Config, nil
+}
+
+// RunningJob is one placed job occupying cores on a node.
+type RunningJob struct {
+	JobID      int
+	Ranks      int
+	EndSeconds float64
+}
+
+// NodeView is the scheduler-visible state of one node: a two-socket
+// machine with Cores cores per socket. A job with R ranks occupies R
+// cores on each socket (simulation ranks on one, analytics ranks on
+// the other — the paper's Fig 2 deployment), so per-socket core
+// capacity is the binding resource and co-resident jobs are disjoint
+// core sets.
+//
+// Co-resident jobs are modeled as non-interfering: each job's duration
+// is its standalone simulated runtime. The PMEM contention the paper
+// quantifies acts within a job (between its two components); modeling
+// cross-job bandwidth interference on a shared node is future work
+// (see DESIGN.md).
+type NodeView struct {
+	ID int
+	// Cores is the capacity of each of the node's two sockets.
+	Cores int
+	// Running lists resident jobs in placement order (deterministic:
+	// commit order, which the engine fixes).
+	Running []RunningJob
+}
+
+// FreeAt returns the cores free on each socket at time t, assuming no
+// further placements: jobs whose end is after t still hold their cores.
+func (n *NodeView) FreeAt(t float64) int {
+	free := n.Cores
+	for _, r := range n.Running {
+		if r.EndSeconds > t {
+			free -= r.Ranks
+		}
+	}
+	return free
+}
+
+// EarliestFit returns the earliest time >= now at which ranks cores are
+// free, given the current residents and no further placements.
+func (n *NodeView) EarliestFit(now float64, ranks int) float64 {
+	if ranks > n.Cores {
+		return inf()
+	}
+	if n.FreeAt(now) >= ranks {
+		return now
+	}
+	// Capacity frees only at completion instants; scan them in time
+	// order. Running is small (<= Cores jobs), so the quadratic scan is
+	// fine.
+	best := inf()
+	for _, r := range n.Running {
+		if r.EndSeconds > now && r.EndSeconds < best && n.FreeAt(r.EndSeconds) >= ranks {
+			best = r.EndSeconds
+		}
+	}
+	return best
+}
+
+// place adds a resident job to the view (used by policies to track
+// their own tentative placements within one scheduling pass, and by
+// the engine to commit them).
+func (n *NodeView) place(jobID, ranks int, end float64) {
+	n.Running = append(n.Running, RunningJob{JobID: jobID, Ranks: ranks, EndSeconds: end})
+}
+
+// remove drops a resident job (completion).
+func (n *NodeView) remove(jobID int) {
+	for i, r := range n.Running {
+		if r.JobID == jobID {
+			n.Running = append(n.Running[:i], n.Running[i+1:]...)
+			return
+		}
+	}
+}
+
+func inf() float64 {
+	return 1e308 // effectively +inf while staying JSON-encodable
+}
+
+// Placement is one scheduling decision: start the job on the node under
+// the configuration, now.
+type Placement struct {
+	JobID  int
+	Node   int
+	Config core.Config
+}
+
+// SchedContext is what a policy sees at a scheduling point: the virtual
+// time, the pending queue in arrival order, a mutable snapshot of the
+// nodes (policies record tentative placements on it so capacity
+// accounting stays correct across multiple placements in one pass),
+// and the cost model.
+type SchedContext struct {
+	Now   float64
+	Queue []Job
+	Nodes []*NodeView
+	Est   Estimator
+}
+
+// Fits returns the lowest-ID node with enough free cores for ranks at
+// the current time, or -1.
+func (c *SchedContext) Fits(ranks int) int {
+	for _, n := range c.Nodes {
+		if n.FreeAt(c.Now) >= ranks {
+			return n.ID
+		}
+	}
+	return -1
+}
+
+// EarliestFit returns the earliest (time, node) at which ranks cores
+// become free on some node, ties resolved to the lower node ID.
+func (c *SchedContext) EarliestFit(ranks int) (float64, int) {
+	best, bestNode := inf(), -1
+	for _, n := range c.Nodes {
+		if t := n.EarliestFit(c.Now, ranks); t < best {
+			best, bestNode = t, n.ID
+		}
+	}
+	return best, bestNode
+}
+
+// Place records a tentative placement on the snapshot and returns it.
+// The engine later commits the returned placements in order.
+func (c *SchedContext) Place(job Job, node int, cfg core.Config, duration float64) Placement {
+	c.Nodes[node].place(job.ID, job.Workflow.Ranks, c.Now+duration)
+	return Placement{JobID: job.ID, Node: node, Config: cfg}
+}
+
+// Options configures a cluster simulation.
+type Options struct {
+	// Nodes is the cluster size; every node is one instance of the run
+	// engine's environment (two sockets, per-socket PMEM).
+	Nodes int
+	// Policy decides placements; see FCFS, EASY, PMEMAware.
+	Policy Policy
+	// Estimator is the cost model. Typically NewEstimator(runner).
+	Estimator Estimator
+	// CoresPerSocket overrides the per-socket core capacity of each
+	// node; 0 derives it from the environment's machine (the testbed's
+	// 28).
+	CoresPerSocket int
+	// SlowdownBoundSeconds is the bounded-slowdown runtime floor tau in
+	// max(1, (wait+run)/max(run, tau)); 0 selects the conventional 10s.
+	SlowdownBoundSeconds float64
+}
+
+func (o Options) validate() error {
+	if o.Nodes <= 0 {
+		return fmt.Errorf("cluster: need at least one node (got %d)", o.Nodes)
+	}
+	if o.Policy == nil {
+		return fmt.Errorf("cluster: no scheduling policy")
+	}
+	if o.Estimator == nil {
+		return fmt.Errorf("cluster: no estimator")
+	}
+	if o.CoresPerSocket < 0 {
+		return fmt.Errorf("cluster: negative cores per socket")
+	}
+	return nil
+}

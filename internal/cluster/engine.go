@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+
+	"pmemsched/internal/numa"
+)
+
+// The virtual-clock event loop. Two event kinds exist: a job arriving
+// and a job completing. Events at equal times apply completions first
+// (freeing capacity before the policy looks at the queue) and break
+// remaining ties by job ID, so the loop is fully deterministic.
+
+type eventKind uint8
+
+const (
+	evComplete eventKind = iota // frees capacity: apply before arrivals
+	evArrive
+)
+
+type event struct {
+	at   float64
+	kind eventKind
+	job  int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(a, b int) bool {
+	if h[a].at != h[b].at {
+		return h[a].at < h[b].at
+	}
+	if h[a].kind != h[b].kind {
+		return h[a].kind < h[b].kind
+	}
+	return h[a].job < h[b].job
+}
+func (h eventHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h *eventHeap) next() event  { return heap.Pop(h).(event) }
+func (h *eventHeap) add(e event)  { heap.Push(h, e) }
+func (h *eventHeap) peek() (event, bool) {
+	if len(*h) == 0 {
+		return event{}, false
+	}
+	return (*h)[0], true
+}
+
+// jobState tracks one trace job through the simulation.
+type jobState struct {
+	job      Job
+	started  bool
+	done     bool
+	node     int
+	cfg      string
+	start    float64
+	duration float64
+	end      float64
+}
+
+// Simulate runs the trace through the cluster under the policy and
+// returns the collected metrics. The loop is event-driven: the virtual
+// clock jumps between arrivals and completions, and the policy is
+// consulted once per distinct event time with the post-event state.
+func Simulate(tr Trace, opt Options) (*Metrics, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	cores := opt.CoresPerSocket
+	if cores == 0 {
+		cores = numa.TestbedConfig().CoresPerSocket
+	}
+	for _, j := range tr.Jobs {
+		if j.Workflow.Ranks > cores {
+			return nil, fmt.Errorf("cluster: job %d (%s) needs %d ranks but nodes have %d cores per socket",
+				j.ID, j.Workflow.Name, j.Workflow.Ranks, cores)
+		}
+	}
+
+	nodes := make([]*NodeView, opt.Nodes)
+	for i := range nodes {
+		nodes[i] = &NodeView{ID: i, Cores: cores}
+	}
+	states := make([]*jobState, len(tr.Jobs))
+	var events eventHeap
+	for i, j := range tr.Jobs {
+		states[i] = &jobState{job: j, node: -1}
+		events.add(event{at: j.ArrivalSeconds, kind: evArrive, job: j.ID})
+	}
+
+	m := newMetrics(opt.Policy.Name(), opt.Nodes, cores, opt.SlowdownBoundSeconds)
+	var pending []Job
+	prev := 0.0
+	for {
+		head, ok := events.peek()
+		if !ok {
+			break
+		}
+		now := head.at
+		m.integrate(nodes, prev, now)
+		prev = now
+		for {
+			e, ok := events.peek()
+			if !ok || e.at != now {
+				break
+			}
+			e = events.next()
+			st := states[e.job]
+			switch e.kind {
+			case evArrive:
+				pending = append(pending, st.job)
+			case evComplete:
+				st.done = true
+				nodes[st.node].remove(st.job.ID)
+			}
+		}
+
+		ctx := &SchedContext{Now: now, Queue: append([]Job(nil), pending...), Nodes: snapshot(nodes), Est: opt.Estimator}
+		placements, err := opt.Policy.Schedule(ctx)
+		if err != nil {
+			return nil, err
+		}
+		for _, pl := range placements {
+			if pl.JobID < 0 || pl.JobID >= len(states) || states[pl.JobID].started {
+				return nil, fmt.Errorf("cluster: policy %s placed unknown or already-started job %d", opt.Policy.Name(), pl.JobID)
+			}
+			if pl.Node < 0 || pl.Node >= len(nodes) {
+				return nil, fmt.Errorf("cluster: policy %s placed job %d on unknown node %d", opt.Policy.Name(), pl.JobID, pl.Node)
+			}
+			st := states[pl.JobID]
+			if nodes[pl.Node].FreeAt(now) < st.job.Workflow.Ranks {
+				return nil, fmt.Errorf("cluster: policy %s overcommitted node %d with job %d (%d ranks, %d cores free)",
+					opt.Policy.Name(), pl.Node, pl.JobID, st.job.Workflow.Ranks, nodes[pl.Node].FreeAt(now))
+			}
+			dur, err := opt.Estimator.Estimate(st.job.Workflow, pl.Config)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: executing job %d (%s): %w", pl.JobID, st.job.Workflow.Name, err)
+			}
+			st.started = true
+			st.node = pl.Node
+			st.cfg = pl.Config.Label()
+			st.start = now
+			st.duration = dur
+			st.end = now + dur
+			nodes[pl.Node].place(st.job.ID, st.job.Workflow.Ranks, st.end)
+			events.add(event{at: st.end, kind: evComplete, job: st.job.ID})
+			pending = removeJob(pending, st.job.ID)
+		}
+		m.sample(now, nodes)
+	}
+
+	if len(pending) > 0 {
+		return nil, fmt.Errorf("cluster: policy %s stalled with %d jobs queued and the cluster idle", opt.Policy.Name(), len(pending))
+	}
+	for _, st := range states {
+		m.record(st)
+	}
+	m.finish()
+	return m, nil
+}
+
+// snapshot deep-copies the node views so policies can tentatively
+// place jobs without touching the authoritative state.
+func snapshot(nodes []*NodeView) []*NodeView {
+	out := make([]*NodeView, len(nodes))
+	for i, n := range nodes {
+		out[i] = &NodeView{ID: n.ID, Cores: n.Cores, Running: append([]RunningJob(nil), n.Running...)}
+	}
+	return out
+}
+
+// removeJob drops the job from the pending queue preserving order.
+func removeJob(pending []Job, id int) []Job {
+	for i, j := range pending {
+		if j.ID == id {
+			return append(pending[:i], pending[i+1:]...)
+		}
+	}
+	return pending
+}

@@ -1,0 +1,261 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pmemsched/internal/trace"
+)
+
+// DefaultSlowdownBoundSeconds is the conventional bounded-slowdown
+// runtime floor (Feitelson's tau = 10s): shorter jobs do not inflate
+// the slowdown metric just by being short.
+const DefaultSlowdownBoundSeconds = 10.0
+
+// JobRecord is the per-job outcome of a cluster simulation.
+type JobRecord struct {
+	ID                int     `json:"id"`
+	Workflow          string  `json:"workflow"`
+	Ranks             int     `json:"ranks"`
+	Node              int     `json:"node"`
+	Config            string  `json:"config"`
+	ArrivalSeconds    float64 `json:"arrival_seconds"`
+	StartSeconds      float64 `json:"start_seconds"`
+	EndSeconds        float64 `json:"end_seconds"`
+	RunSeconds        float64 `json:"run_seconds"`
+	WaitSeconds       float64 `json:"wait_seconds"`
+	TurnaroundSeconds float64 `json:"turnaround_seconds"`
+	BoundedSlowdown   float64 `json:"bounded_slowdown"`
+}
+
+// Sample is one point of the per-node utilization time series: the
+// cores in use on each node immediately after the scheduling pass at
+// TimeSeconds.
+type Sample struct {
+	TimeSeconds float64 `json:"time_seconds"`
+	CoresInUse  []int   `json:"cores_in_use"`
+}
+
+// Summary aggregates a simulation's queueing metrics.
+type Summary struct {
+	Policy                string  `json:"policy"`
+	Nodes                 int     `json:"nodes"`
+	CoresPerSocket        int     `json:"cores_per_socket"`
+	Jobs                  int     `json:"jobs"`
+	MakespanSeconds       float64 `json:"makespan_seconds"`
+	MeanWaitSeconds       float64 `json:"mean_wait_seconds"`
+	MaxWaitSeconds        float64 `json:"max_wait_seconds"`
+	MeanTurnaroundSeconds float64 `json:"mean_turnaround_seconds"`
+	MeanBoundedSlowdown   float64 `json:"mean_bounded_slowdown"`
+	MaxBoundedSlowdown    float64 `json:"max_bounded_slowdown"`
+	// MeanUtilization is busy core-seconds over available core-seconds
+	// (nodes x cores x makespan), cluster-wide and per node.
+	MeanUtilization float64   `json:"mean_utilization"`
+	NodeUtilization []float64 `json:"node_utilization"`
+}
+
+// Metrics collects a simulation's outcome: per-job records in trace
+// order, the per-node utilization time series, and the aggregate
+// summary. All exports are deterministic (slices in fixed order, no
+// map iteration).
+type Metrics struct {
+	Records []JobRecord
+	Series  []Sample
+
+	policy  string
+	nodes   int
+	cores   int
+	bound   float64
+	busy    []float64 // per-node busy core-seconds, integrated between events
+	summary Summary
+}
+
+func newMetrics(policy string, nodes, cores int, bound float64) *Metrics {
+	if bound <= 0 {
+		bound = DefaultSlowdownBoundSeconds
+	}
+	return &Metrics{
+		policy: policy,
+		nodes:  nodes,
+		cores:  cores,
+		bound:  bound,
+		busy:   make([]float64, nodes),
+	}
+}
+
+// integrate accrues busy core-seconds for the interval [from, to) under
+// the node occupancy that held throughout it.
+func (m *Metrics) integrate(nodes []*NodeView, from, to float64) {
+	if to <= from {
+		return
+	}
+	for i, n := range nodes {
+		m.busy[i] += float64(n.Cores-n.FreeAt(from)) * (to - from)
+	}
+}
+
+// sample records the post-scheduling occupancy at an event time.
+func (m *Metrics) sample(now float64, nodes []*NodeView) {
+	s := Sample{TimeSeconds: now, CoresInUse: make([]int, len(nodes))}
+	for i, n := range nodes {
+		s.CoresInUse[i] = n.Cores - n.FreeAt(now)
+	}
+	m.Series = append(m.Series, s)
+}
+
+// record registers a finished job.
+func (m *Metrics) record(st *jobState) {
+	wait := st.start - st.job.ArrivalSeconds
+	turnaround := st.end - st.job.ArrivalSeconds
+	run := st.duration
+	floor := run
+	if floor < m.bound {
+		floor = m.bound
+	}
+	bsld := turnaround / floor
+	if bsld < 1 {
+		bsld = 1
+	}
+	m.Records = append(m.Records, JobRecord{
+		ID:                st.job.ID,
+		Workflow:          st.job.Workflow.Name,
+		Ranks:             st.job.Workflow.Ranks,
+		Node:              st.node,
+		Config:            st.cfg,
+		ArrivalSeconds:    st.job.ArrivalSeconds,
+		StartSeconds:      st.start,
+		EndSeconds:        st.end,
+		RunSeconds:        run,
+		WaitSeconds:       wait,
+		TurnaroundSeconds: turnaround,
+		BoundedSlowdown:   bsld,
+	})
+}
+
+// finish computes the aggregate summary once all records are in.
+func (m *Metrics) finish() {
+	s := Summary{
+		Policy:          m.policy,
+		Nodes:           m.nodes,
+		CoresPerSocket:  m.cores,
+		Jobs:            len(m.Records),
+		NodeUtilization: make([]float64, m.nodes),
+	}
+	for _, r := range m.Records {
+		if r.EndSeconds > s.MakespanSeconds {
+			s.MakespanSeconds = r.EndSeconds
+		}
+		s.MeanWaitSeconds += r.WaitSeconds
+		if r.WaitSeconds > s.MaxWaitSeconds {
+			s.MaxWaitSeconds = r.WaitSeconds
+		}
+		s.MeanTurnaroundSeconds += r.TurnaroundSeconds
+		s.MeanBoundedSlowdown += r.BoundedSlowdown
+		if r.BoundedSlowdown > s.MaxBoundedSlowdown {
+			s.MaxBoundedSlowdown = r.BoundedSlowdown
+		}
+	}
+	if n := float64(len(m.Records)); n > 0 {
+		s.MeanWaitSeconds /= n
+		s.MeanTurnaroundSeconds /= n
+		s.MeanBoundedSlowdown /= n
+	}
+	if s.MakespanSeconds > 0 {
+		total := 0.0
+		for i, b := range m.busy {
+			s.NodeUtilization[i] = b / (float64(m.cores) * s.MakespanSeconds)
+			total += b
+		}
+		s.MeanUtilization = total / (float64(m.nodes) * float64(m.cores) * s.MakespanSeconds)
+	}
+	m.summary = s
+}
+
+// Summary returns the aggregate queueing metrics.
+func (m *Metrics) Summary() Summary { return m.summary }
+
+// WriteJSON writes the full report (summary, per-job records,
+// utilization series) as one JSON document. Equal traces, options and
+// seeds produce byte-identical output.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Summary Summary     `json:"summary"`
+		Jobs    []JobRecord `json:"jobs"`
+		Series  []Sample    `json:"series"`
+	}{Summary: m.summary, Jobs: m.Records, Series: m.Series}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteCSV writes the per-job records and the utilization series as two
+// CSV tables separated by a blank line, each preceded by a "# title"
+// comment row (the experiment harness's CSV convention).
+func (m *Metrics) WriteCSV(w io.Writer) error {
+	jobs := m.jobTable()
+	if _, err := fmt.Fprintf(w, "# %s: per-job metrics\n", m.policy); err != nil {
+		return err
+	}
+	if err := jobs.WriteCSV(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "\n# %s: per-node utilization series\n", m.policy); err != nil {
+		return err
+	}
+	return m.seriesTable().WriteCSV(w)
+}
+
+// Render writes a human-readable report: the summary block, the per-job
+// table and the per-node utilizations.
+func (m *Metrics) Render(w io.Writer) error {
+	s := m.summary
+	if _, err := fmt.Fprintf(w, "== %s on %d node(s) x %d cores/socket: %d jobs ==\n",
+		s.Policy, s.Nodes, s.CoresPerSocket, s.Jobs); err != nil {
+		return err
+	}
+	if err := m.jobTable().WriteText(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "makespan %.2fs | wait mean %.2fs max %.2fs | bounded slowdown mean %.3f max %.3f | utilization %.1f%%\n",
+		s.MakespanSeconds, s.MeanWaitSeconds, s.MaxWaitSeconds,
+		s.MeanBoundedSlowdown, s.MaxBoundedSlowdown, 100*s.MeanUtilization); err != nil {
+		return err
+	}
+	for i, u := range s.NodeUtilization {
+		if _, err := fmt.Fprintf(w, "  node %d utilization %.1f%%\n", i, 100*u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Metrics) jobTable() *trace.Table {
+	t := &trace.Table{
+		Title:   "per-job metrics",
+		Columns: []string{"job", "workflow", "ranks", "node", "config", "arrival", "start", "end", "wait", "bsld"},
+	}
+	for _, r := range m.Records {
+		t.AddRow(r.ID, r.Workflow, r.Ranks, r.Node, r.Config,
+			fmt.Sprintf("%.2f", r.ArrivalSeconds), fmt.Sprintf("%.2f", r.StartSeconds),
+			fmt.Sprintf("%.2f", r.EndSeconds), fmt.Sprintf("%.2f", r.WaitSeconds),
+			fmt.Sprintf("%.3f", r.BoundedSlowdown))
+	}
+	return t
+}
+
+func (m *Metrics) seriesTable() *trace.Table {
+	cols := []string{"time"}
+	for i := 0; i < m.nodes; i++ {
+		cols = append(cols, fmt.Sprintf("node%d_cores_in_use", i))
+	}
+	t := &trace.Table{Title: "per-node utilization series", Columns: cols}
+	for _, s := range m.Series {
+		row := []any{fmt.Sprintf("%.2f", s.TimeSeconds)}
+		for _, c := range s.CoresInUse {
+			row = append(row, c)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"pmemsched/internal/core"
+)
+
+// Policy decides which pending jobs start at the current scheduling
+// point. It is consulted after every state change (arrival or
+// completion) and returns placements for jobs that start now; jobs it
+// leaves in the queue wait for the next event.
+//
+// Policies must be deterministic functions of the context: no wall
+// clock, no global randomness, no map iteration (pmemlint enforces all
+// three in this package).
+type Policy interface {
+	Name() string
+	Schedule(ctx *SchedContext) ([]Placement, error)
+}
+
+// FCFS is strict first-come-first-served under one fixed site-wide
+// configuration: jobs start in arrival order on the lowest-ID node
+// with enough free cores, and a blocked head-of-queue blocks everyone
+// behind it. This is the baseline discipline of batch schedulers with
+// backfilling disabled.
+func FCFS(cfg core.Config) Policy {
+	return &listPolicy{name: "fcfs/" + cfg.Label(), fixed: &cfg}
+}
+
+// EASY is FCFS with EASY backfilling (Lifka's argonne scheduler): when
+// the head of the queue does not fit, it gets a reservation at the
+// earliest time enough cores free up, and later jobs may jump ahead
+// only if doing so cannot delay that reservation. All jobs run under
+// one fixed site-wide configuration.
+func EASY(cfg core.Config) Policy {
+	return &listPolicy{name: "easy/" + cfg.Label(), fixed: &cfg, backfill: true}
+}
+
+// PMEMAware is EASY backfilling with per-job configuration decisions:
+// each job runs under the configuration Table II recommends for it
+// (profiling and classification memoized by the run engine) instead of
+// a site-wide default. The queueing discipline is identical to EASY, so
+// any metric difference against a fixed policy isolates the value of
+// PMEM-aware per-workflow configuration — the scheduler the paper's
+// conclusions call for.
+func PMEMAware() Policy {
+	return &listPolicy{name: "pmem-aware", backfill: true}
+}
+
+// Policies returns the selectable policy set for a fixed configuration:
+// the three disciplines the CLI and the online experiment expose.
+func Policies(fixed core.Config) []Policy {
+	return []Policy{FCFS(fixed), EASY(fixed), PMEMAware()}
+}
+
+// ParsePolicy resolves a CLI policy name: "fcfs", "easy" or
+// "pmem-aware", where fixed supplies the site-wide configuration of the
+// first two.
+func ParsePolicy(name string, fixed core.Config) (Policy, error) {
+	switch strings.ToLower(name) {
+	case "fcfs":
+		return FCFS(fixed), nil
+	case "easy":
+		return EASY(fixed), nil
+	case "pmem-aware", "pmem":
+		return PMEMAware(), nil
+	}
+	return nil, fmt.Errorf("cluster: unknown policy %q (want fcfs, easy or pmem-aware)", name)
+}
+
+// listPolicy is the shared list-scheduling core: arrival-order scan,
+// optional EASY backfill, and either a fixed configuration or per-job
+// Table II recommendations.
+type listPolicy struct {
+	name     string
+	fixed    *core.Config // nil: ask the estimator for a recommendation
+	backfill bool
+}
+
+func (p *listPolicy) Name() string { return p.name }
+
+// config picks the job's configuration under this policy.
+func (p *listPolicy) config(ctx *SchedContext, j Job) (core.Config, error) {
+	if p.fixed != nil {
+		return *p.fixed, nil
+	}
+	return ctx.Est.Recommend(j.Workflow)
+}
+
+func (p *listPolicy) Schedule(ctx *SchedContext) ([]Placement, error) {
+	var placed []Placement
+	queue := append([]Job(nil), ctx.Queue...)
+	for len(queue) > 0 {
+		head := queue[0]
+		cfg, err := p.config(ctx, head)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %s: configuring job %d (%s): %w", p.name, head.ID, head.Workflow.Name, err)
+		}
+		if node := ctx.Fits(head.Workflow.Ranks); node >= 0 {
+			dur, err := ctx.Est.Estimate(head.Workflow, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: %s: estimating job %d (%s): %w", p.name, head.ID, head.Workflow.Name, err)
+			}
+			placed = append(placed, ctx.Place(head, node, cfg, dur))
+			queue = queue[1:]
+			continue
+		}
+		// Head blocked: without backfilling nothing behind it may start.
+		if !p.backfill {
+			break
+		}
+		more, err := p.backfillBehind(ctx, head, queue[1:])
+		if err != nil {
+			return nil, err
+		}
+		placed = append(placed, more...)
+		break
+	}
+	return placed, nil
+}
+
+// backfillBehind gives the blocked head a reservation at the earliest
+// time its cores free up and starts later jobs that provably cannot
+// delay it: a job may backfill if it fits now and either finishes
+// before the reservation, runs on a different node, or leaves the
+// reserved node with enough cores at the reservation time.
+func (p *listPolicy) backfillBehind(ctx *SchedContext, head Job, rest []Job) ([]Placement, error) {
+	shadow, reserved := ctx.EarliestFit(head.Workflow.Ranks)
+	if reserved < 0 {
+		return nil, fmt.Errorf("cluster: %s: job %d (%s) needs %d ranks but no node can ever fit it",
+			p.name, head.ID, head.Workflow.Name, head.Workflow.Ranks)
+	}
+	var placed []Placement
+	for _, j := range rest {
+		node := ctx.Fits(j.Workflow.Ranks)
+		if node < 0 {
+			continue
+		}
+		cfg, err := p.config(ctx, j)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %s: configuring job %d (%s): %w", p.name, j.ID, j.Workflow.Name, err)
+		}
+		dur, err := ctx.Est.Estimate(j.Workflow, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %s: estimating job %d (%s): %w", p.name, j.ID, j.Workflow.Name, err)
+		}
+		end := ctx.Now + dur
+		// Would this placement still leave the head's reservation intact?
+		if end > shadow && node == reserved &&
+			ctx.Nodes[reserved].FreeAt(shadow)-j.Workflow.Ranks < head.Workflow.Ranks {
+			continue
+		}
+		placed = append(placed, ctx.Place(j, node, cfg, dur))
+	}
+	return placed, nil
+}

@@ -1,0 +1,206 @@
+// Package cluster implements an online multi-node workflow scheduler
+// on top of the paper's single-node cost model: a Cluster of N nodes
+// (each node one core.Env instance with its two-socket PMEM topology),
+// a stream of jobs arriving over virtual time, and an event-driven
+// scheduling loop that consults a pluggable Policy at every arrival and
+// completion. This is the "future workflow schedulers" scenario the
+// paper's conclusions address, upgraded from core.ScheduleQueue's
+// static batch plan to an online simulation with queueing metrics
+// (wait, turnaround, bounded slowdown, per-node utilization).
+//
+// Everything is deterministic: the virtual clock advances only through
+// the event heap, job durations come from the memoized run engine
+// (core.Runner), and trace synthesis draws from an injected seeded
+// generator — equal seeds and configurations produce byte-identical
+// traces and reports.
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"pmemsched/internal/workflow"
+	"pmemsched/internal/workloads"
+)
+
+// Job is one unit of the arrival stream: a workflow submitted to the
+// cluster at a point in virtual time.
+type Job struct {
+	// ID is the job's position in the trace (assigned on load/synthesis);
+	// metrics and placements refer to jobs by it.
+	ID int
+	// Workflow is the job's workload. The scheduler may run it under any
+	// Table I configuration; it always occupies Workflow.Ranks cores on
+	// each socket of its node for the duration.
+	Workflow workflow.Spec
+	// ArrivalSeconds is the submission time on the virtual clock.
+	ArrivalSeconds float64
+}
+
+// Trace is a job stream sorted by arrival time.
+type Trace struct {
+	Jobs []Job
+}
+
+// Validate reports whether the trace is well-formed: non-empty, valid
+// workflows, non-negative arrivals in non-decreasing order.
+func (t Trace) Validate() error {
+	if len(t.Jobs) == 0 {
+		return fmt.Errorf("cluster: empty trace")
+	}
+	prev := 0.0
+	for i, j := range t.Jobs {
+		if err := j.Workflow.Validate(); err != nil {
+			return fmt.Errorf("cluster: trace job %d: %w", i, err)
+		}
+		if j.ArrivalSeconds < 0 {
+			return fmt.Errorf("cluster: trace job %d: negative arrival %g", i, j.ArrivalSeconds)
+		}
+		if j.ArrivalSeconds < prev {
+			return fmt.Errorf("cluster: trace job %d: arrival %g before job %d's %g (trace must be sorted)",
+				i, j.ArrivalSeconds, i-1, prev)
+		}
+		prev = j.ArrivalSeconds
+	}
+	return nil
+}
+
+// The JSON form of a trace: a job list whose workflow entries use the
+// same schema as cmd/wfrun's -spec files (workflow.ReadSpec).
+//
+//	{
+//	  "jobs": [
+//	    {"arrival_seconds": 0, "workflow": {"name": "...", ...}},
+//	    {"arrival_seconds": 12.5, "workflow": {...}}
+//	  ]
+//	}
+type traceJSON struct {
+	Jobs []traceJobJSON `json:"jobs"`
+}
+
+type traceJobJSON struct {
+	ArrivalSeconds float64         `json:"arrival_seconds"`
+	Workflow       json.RawMessage `json:"workflow"`
+}
+
+// ReadTrace decodes and validates a job trace from JSON. Jobs are
+// sorted by arrival time (stably, preserving file order among equal
+// arrivals) and numbered in that order.
+func ReadTrace(r io.Reader) (Trace, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var tj traceJSON
+	if err := dec.Decode(&tj); err != nil {
+		return Trace{}, fmt.Errorf("cluster: decoding trace: %w", err)
+	}
+	var tr Trace
+	for i, jj := range tj.Jobs {
+		wf, err := workflow.ReadSpec(bytes.NewReader(jj.Workflow))
+		if err != nil {
+			return Trace{}, fmt.Errorf("cluster: trace job %d: %w", i, err)
+		}
+		tr.Jobs = append(tr.Jobs, Job{Workflow: wf, ArrivalSeconds: jj.ArrivalSeconds})
+	}
+	sort.SliceStable(tr.Jobs, func(a, b int) bool {
+		return tr.Jobs[a].ArrivalSeconds < tr.Jobs[b].ArrivalSeconds
+	})
+	for i := range tr.Jobs {
+		tr.Jobs[i].ID = i
+	}
+	if err := tr.Validate(); err != nil {
+		return Trace{}, err
+	}
+	return tr, nil
+}
+
+// WriteTrace encodes the trace as JSON, the inverse of ReadTrace.
+func WriteTrace(w io.Writer, tr Trace) error {
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	var tj traceJSON
+	for _, j := range tr.Jobs {
+		var buf bytes.Buffer
+		if err := workflow.WriteSpec(&buf, j.Workflow); err != nil {
+			return fmt.Errorf("cluster: trace job %d: %w", j.ID, err)
+		}
+		tj.Jobs = append(tj.Jobs, traceJobJSON{
+			ArrivalSeconds: j.ArrivalSeconds,
+			Workflow:       json.RawMessage(buf.Bytes()),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tj)
+}
+
+// SyntheticConfig parameterizes the seeded trace generator.
+type SyntheticConfig struct {
+	// Jobs is the number of jobs to synthesize.
+	Jobs int
+	// MeanInterarrivalSeconds is the mean of the exponential
+	// inter-arrival distribution (a Poisson arrival process, the
+	// standard open-system load model).
+	MeanInterarrivalSeconds float64
+	// Seed seeds the generator; equal seeds and configs produce
+	// byte-identical traces.
+	Seed int64
+}
+
+// Synthetic draws a job trace from the catalog: workloads are sampled
+// uniformly and arrivals follow a Poisson process. All randomness comes
+// from the config's seed — never from the global source — so the
+// generator is reproducible.
+func Synthetic(catalog []workflow.Spec, cfg SyntheticConfig) (Trace, error) {
+	if len(catalog) == 0 {
+		return Trace{}, fmt.Errorf("cluster: empty workload catalog")
+	}
+	if cfg.Jobs <= 0 {
+		return Trace{}, fmt.Errorf("cluster: synthetic trace needs a positive job count (got %d)", cfg.Jobs)
+	}
+	if cfg.MeanInterarrivalSeconds <= 0 {
+		return Trace{}, fmt.Errorf("cluster: synthetic trace needs a positive mean inter-arrival (got %g)", cfg.MeanInterarrivalSeconds)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var tr Trace
+	at := 0.0
+	for i := 0; i < cfg.Jobs; i++ {
+		tr.Jobs = append(tr.Jobs, Job{
+			ID:             i,
+			Workflow:       catalog[rng.Intn(len(catalog))],
+			ArrivalSeconds: at,
+		})
+		at += rng.ExpFloat64() * cfg.MeanInterarrivalSeconds
+	}
+	if err := tr.Validate(); err != nil {
+		return Trace{}, err
+	}
+	return tr, nil
+}
+
+// SuiteTrace is the bundled 18-workload arrival trace: every workflow
+// of the paper's evaluation suite (§IV-C) exactly once, in a seeded
+// random submission order, with Poisson arrivals. It is the workload
+// behind the online-scheduling experiment and the wfsched CLI's
+// default.
+func SuiteTrace(seed int64, meanInterarrivalSeconds float64) (Trace, error) {
+	if meanInterarrivalSeconds <= 0 {
+		return Trace{}, fmt.Errorf("cluster: suite trace needs a positive mean inter-arrival (got %g)", meanInterarrivalSeconds)
+	}
+	suite := workloads.Suite()
+	rng := rand.New(rand.NewSource(seed))
+	var tr Trace
+	at := 0.0
+	for i, idx := range rng.Perm(len(suite)) {
+		tr.Jobs = append(tr.Jobs, Job{ID: i, Workflow: suite[idx], ArrivalSeconds: at})
+		at += rng.ExpFloat64() * meanInterarrivalSeconds
+	}
+	if err := tr.Validate(); err != nil {
+		return Trace{}, err
+	}
+	return tr, nil
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"pmemsched/internal/workloads"
+)
+
+// TestFanOutCoversEveryIndex: fanOut must invoke fn exactly once per
+// index regardless of the worker count, including the degenerate
+// shapes (more workers than items, one worker, empty input).
+func TestFanOutCoversEveryIndex(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{0, 4}, {1, 4}, {7, 1}, {8, 3}, {100, 4}, {3, 100},
+	} {
+		calls := make([]atomic.Int64, tc.n)
+		fanOut(tc.n, tc.workers, func(i int) { calls[i].Add(1) })
+		for i := range calls {
+			if got := calls[i].Load(); got != 1 {
+				t.Errorf("fanOut(%d, %d): index %d invoked %d times, want 1", tc.n, tc.workers, i, got)
+			}
+		}
+	}
+}
+
+// TestFanOutBounded: fanOut must never have more than workers
+// invocations of fn in flight. The test parks every invocation on a
+// rendezvous channel; if fan-out were goroutine-per-item (the shape
+// this helper replaces), all n invocations would enter concurrently.
+func TestFanOutBounded(t *testing.T) {
+	const n, workers = 8, 3
+	entered := make(chan int)
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		fanOut(n, workers, func(i int) {
+			entered <- i
+			<-release
+		})
+		close(done)
+	}()
+
+	seen := 0
+	for seen < workers {
+		<-entered
+		seen++
+	}
+	// All worker goroutines are now parked. Give any illegal extra
+	// goroutines ample chances to run and show up on the channel.
+	for i := 0; i < 1000; i++ {
+		runtime.Gosched()
+		select {
+		case <-entered:
+			seen++
+		default:
+		}
+	}
+	if seen > workers {
+		t.Fatalf("%d invocations in flight, want at most %d", seen, workers)
+	}
+	close(release)
+	for seen < n {
+		<-entered
+		seen++
+	}
+	<-done
+	if seen != n {
+		t.Fatalf("%d total invocations, want %d", seen, n)
+	}
+}
+
+// TestScheduleQueueBoundsGoroutines: planning a queue much longer than
+// the worker pool must not grow the goroutine count past the pool
+// size (plus scheduler slack) — the phase 1 fan-out is bounded, not
+// goroutine-per-workflow.
+func TestScheduleQueueBoundsGoroutines(t *testing.T) {
+	rt := NewRunner(DefaultEnv(), 2)
+	// A queue far longer than the two-worker pool; repeats are fine —
+	// the point is the fan-out shape, and repeats hit the cache.
+	suite := workloads.Suite()
+	specs := suite
+	for len(specs) < 60 {
+		specs = append(specs, suite...)
+	}
+
+	before := runtime.NumGoroutine()
+	if _, err := rt.ScheduleQueue(specs); err != nil {
+		t.Fatal(err)
+	}
+	after := runtime.NumGoroutine()
+	// The fan-out goroutines have all exited by the time ScheduleQueue
+	// returns; a leak here means a worker wedged.
+	if after > before+2 {
+		t.Errorf("goroutines grew from %d to %d across ScheduleQueue", before, after)
+	}
+}

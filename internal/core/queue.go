@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"pmemsched/internal/workflow"
 )
@@ -88,18 +87,14 @@ func (r *Runner) ScheduleQueue(queue []workflow.Spec) (QueuePlan, error) {
 	}
 
 	// Phase 1: classify every workflow (two profiling runs each),
-	// concurrently on the pool.
+	// concurrently but with the goroutine fan-out bounded at the pool
+	// size — an arbitrarily long queue must not translate into
+	// arbitrarily many goroutines parked on the execution semaphore.
 	recs := make([]Recommendation, len(queue))
 	recErrs := make([]error, len(queue))
-	var wg sync.WaitGroup
-	for i := range queue {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			recs[i], recErrs[i] = r.RecommendWorkflow(queue[i])
-		}(i)
-	}
-	wg.Wait()
+	fanOut(len(queue), r.Workers(), func(i int) {
+		recs[i], recErrs[i] = r.RecommendWorkflow(queue[i])
+	})
 	for i, err := range recErrs {
 		if err != nil {
 			return QueuePlan{}, fmt.Errorf("core: planning %s: %w", queue[i].Name, err)

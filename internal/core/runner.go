@@ -110,6 +110,39 @@ func (r *Runner) Stats() RunnerStats {
 	}
 }
 
+// fanOut invokes fn(i) for every i in [0, n) from at most workers
+// goroutines. The semaphore in do already bounds concurrent
+// executions, but goroutine-per-item fan-out still creates one
+// (stack-owning) goroutine per item; fanOut caps the spawned
+// goroutines at the pool size, so a queue of ten thousand workflows
+// costs pool-many goroutines rather than ten thousand parked ones.
+//
+// Workers pull indexes from a shared atomic counter, so the set of
+// (i, goroutine) pairings is scheduling-dependent — callers must make
+// fn(i) write only to the i-th slot of pre-sized slices, which keeps
+// results independent of the pairing.
+func fanOut(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // do answers a request for key, executing exec on the worker pool at
 // most once per key. Concurrent requests for an in-flight key wait for
 // the first execution; later requests are served from the cache.
@@ -170,15 +203,9 @@ func (r *Runner) Run(wf workflow.Spec, cfg Config) (Result, error) {
 func (r *Runner) RunBatch(jobs []Job) ([]Result, error) {
 	results := make([]Result, len(jobs))
 	errs := make([]error, len(jobs))
-	var wg sync.WaitGroup
-	for i := range jobs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			results[i], errs[i] = r.RunDeployment(jobs[i].Workflow, jobs[i].Deployment)
-		}(i)
-	}
-	wg.Wait()
+	fanOut(len(jobs), r.Workers(), func(i int) {
+		results[i], errs[i] = r.RunDeployment(jobs[i].Workflow, jobs[i].Deployment)
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -173,6 +173,7 @@ func All() []Experiment {
 		{"gen2", "Rule robustness on Gen-2 Optane (extension)", RuleTransfer},
 		{"jitter", "Robustness to compute-load imbalance (extension)", JitterRobustness},
 		{"placement", "Deployment-space search on four sockets (extension)", PlacementSpace},
+		{"online", "Online cluster scheduling: PMEM-aware vs fixed configurations (extension)", OnlineSched},
 	}
 }
 
