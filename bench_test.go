@@ -144,3 +144,8 @@ func BenchmarkPlacementSpace(b *testing.B) { benchExperiment(b, "placement") }
 // through the online cluster scheduler at every load factor, comparing
 // the PMEM-aware policy against each fixed site-wide configuration.
 func BenchmarkOnlineSched(b *testing.B) { benchExperiment(b, "online") }
+
+// BenchmarkInterferenceSched runs the bandwidth-heavy trace through the
+// fluid reflow engine at every load factor, comparing each oblivious
+// policy against its interference-aware variant.
+func BenchmarkInterferenceSched(b *testing.B) { benchExperiment(b, "interference") }

@@ -9,6 +9,8 @@
 //	wfsched -jobs 8 -seed 3              # 8-job synthetic trace sampled from the suite
 //	wfsched -trace trace.json -nodes 4   # a custom JSON trace (see internal/cluster.ReadTrace)
 //	wfsched -format json                 # machine-readable report (byte-identical per seed)
+//	wfsched -interference                # model cross-job PMEM contention on shared nodes
+//	wfsched -interference -policy easy-i # ...and place jobs to avoid bandwidth collisions
 //	wfsched -dump-trace trace.json       # write the generated trace for reuse
 package main
 
@@ -31,13 +33,14 @@ func main() {
 	jobs := flag.Int("jobs", 0, "synthetic trace size; 0 = the bundled 18-workload suite trace (one of each)")
 	interarrival := flag.Float64("interarrival", 60, "synthetic mean inter-arrival time in seconds (Poisson arrivals)")
 	nodes := flag.Int("nodes", 2, "cluster size")
-	policyName := flag.String("policy", "pmem-aware", "scheduling policy: fcfs, easy or pmem-aware")
+	policyName := flag.String("policy", "pmem-aware", "scheduling policy: fcfs, easy, pmem-aware, easy-i or pmem-aware-i")
 	configName := flag.String("config", "S-LocW", "fixed site-wide configuration for fcfs/easy (S-LocW, S-LocR, P-LocW, P-LocR)")
 	seed := flag.Int64("seed", 1, "synthetic trace seed (same seed = byte-identical trace and report)")
 	parallel := flag.Int("parallel", 0, "run-engine worker pool size (0 = GOMAXPROCS)")
 	format := flag.String("format", "text", "output format: text, csv or json")
 	stackName := flag.String("stack", "nova", "storage stack: nova or nvstream")
 	dumpTrace := flag.String("dump-trace", "", "also write the job trace as JSON to this path")
+	interference := flag.Bool("interference", false, "model cross-job PMEM bandwidth contention on shared nodes (Optane budgets)")
 	flag.Parse()
 
 	env, err := envFor(*stackName)
@@ -53,32 +56,9 @@ func main() {
 		fatal(err)
 	}
 
-	var tr cluster.Trace
-	switch {
-	case *tracePath != "":
-		f, err := os.Open(*tracePath)
-		if err != nil {
-			fatal(err)
-		}
-		tr, err = cluster.ReadTrace(f)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
-	case *jobs > 0:
-		tr, err = cluster.Synthetic(workloads.Suite(), cluster.SyntheticConfig{
-			Jobs:                    *jobs,
-			MeanInterarrivalSeconds: *interarrival,
-			Seed:                    *seed,
-		})
-		if err != nil {
-			fatal(err)
-		}
-	default:
-		tr, err = cluster.SuiteTrace(*seed, *interarrival)
-		if err != nil {
-			fatal(err)
-		}
+	tr, err := selectTrace(*tracePath, *jobs, *interarrival, *seed)
+	if err != nil {
+		fatal(err)
 	}
 	if *dumpTrace != "" {
 		f, err := os.Create(*dumpTrace)
@@ -94,11 +74,15 @@ func main() {
 	}
 
 	rt := core.NewRunner(env, *parallel)
-	metrics, err := cluster.Simulate(tr, cluster.Options{
+	opt := cluster.Options{
 		Nodes:     *nodes,
 		Policy:    policy,
 		Estimator: cluster.NewEstimator(rt),
-	})
+	}
+	if *interference {
+		opt.Interference = cluster.DefaultInterference()
+	}
+	metrics, err := cluster.Simulate(tr, opt)
 	if err != nil {
 		fatal(err)
 	}
@@ -115,6 +99,32 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+}
+
+// selectTrace resolves the job trace the flags ask for: a JSON file, a
+// synthetic trace of the given size, or (jobs == 0) the bundled suite
+// trace. A negative -jobs is an explicit error — it used to fall
+// through to the suite-trace default silently.
+func selectTrace(tracePath string, jobs int, interarrival float64, seed int64) (cluster.Trace, error) {
+	switch {
+	case tracePath != "":
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return cluster.Trace{}, err
+		}
+		defer f.Close()
+		return cluster.ReadTrace(f)
+	case jobs < 0:
+		return cluster.Trace{}, fmt.Errorf("-jobs must be non-negative (got %d); 0 selects the bundled suite trace", jobs)
+	case jobs > 0:
+		return cluster.Synthetic(workloads.Suite(), cluster.SyntheticConfig{
+			Jobs:                    jobs,
+			MeanInterarrivalSeconds: interarrival,
+			Seed:                    seed,
+		})
+	default:
+		return cluster.SuiteTrace(seed, interarrival)
 	}
 }
 

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSelectTraceRejectsNegativeJobs is the regression test for the
+// silent fall-through bug: -jobs -5 used to select the bundled suite
+// trace instead of erroring.
+func TestSelectTraceRejectsNegativeJobs(t *testing.T) {
+	if _, err := selectTrace("", -5, 60, 1); err == nil {
+		t.Fatal("selectTrace accepted a negative job count")
+	} else if !strings.Contains(err.Error(), "-jobs") {
+		t.Errorf("error %q does not mention -jobs", err)
+	}
+}
+
+// TestSelectTraceDefaults covers the two generator paths: 0 jobs is the
+// 18-workload suite trace, a positive count is a synthetic trace of
+// exactly that size.
+func TestSelectTraceDefaults(t *testing.T) {
+	tr, err := selectTrace("", 0, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 18 {
+		t.Errorf("suite trace has %d jobs, want 18", len(tr.Jobs))
+	}
+	tr, err = selectTrace("", 5, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 5 {
+		t.Errorf("synthetic trace has %d jobs, want 5", len(tr.Jobs))
+	}
+}

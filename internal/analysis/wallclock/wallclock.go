@@ -17,8 +17,8 @@ var Analyzer = &analysis.Analyzer{
 	Name: "wallclock",
 	Doc: `forbid wall-clock reads and unseeded randomness in kernel packages
 
-Inside internal/sim, internal/core, internal/pmem, internal/workflow and
-internal/cluster,
+Inside internal/sim, internal/core, internal/pmem, internal/workflow,
+internal/cluster and internal/experiments,
 calls to time.Now/Since/Until and to package-level math/rand functions
 (which draw from the process-global, randomly-seeded source) make
 results depend on when and where the process runs. Thread an explicit
@@ -29,9 +29,10 @@ rand.NewSource are therefore allowed.`,
 }
 
 // scopeRE matches the deterministic kernel: the fluid simulator, the
-// run engine, the device model, the workflow compiler and the cluster
-// scheduler (whose virtual clock must never touch the real one).
-var scopeRE = regexp.MustCompile(`internal/(sim|core|pmem|workflow|cluster)$`)
+// run engine, the device model, the workflow compiler, the cluster
+// scheduler (whose virtual clock must never touch the real one), and
+// the experiment harness whose reports must be byte-reproducible.
+var scopeRE = regexp.MustCompile(`internal/(sim|core|pmem|workflow|cluster|experiments)$`)
 
 // bannedTime are the time-package functions that read the wall clock.
 var bannedTime = map[string]bool{"Now": true, "Since": true, "Until": true}

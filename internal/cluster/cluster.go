@@ -25,6 +25,10 @@ type Estimator interface {
 	// Recommend returns the Table II configuration for the workflow
 	// (profiling + classification, memoized by the run engine).
 	Recommend(wf workflow.Spec) (core.Config, error)
+	// Profile returns the workflow's PMEM-demand profile under the
+	// configuration, for the cross-job interference model. It shares
+	// the memoized run behind Estimate, so profiling adds no cost.
+	Profile(wf workflow.Spec, cfg core.Config) (JobProfile, error)
 }
 
 // runnerEstimator is the production Estimator: durations are memoized
@@ -57,11 +61,22 @@ func (e runnerEstimator) Recommend(wf workflow.Spec) (core.Config, error) {
 	return rec.Config, nil
 }
 
+func (e runnerEstimator) Profile(wf workflow.Spec, cfg core.Config) (JobProfile, error) {
+	res, err := e.rt.Run(wf, cfg)
+	if err != nil {
+		return JobProfile{}, err
+	}
+	return ProfileFromResult(wf, cfg, res), nil
+}
+
 // RunningJob is one placed job occupying cores on a node.
 type RunningJob struct {
 	JobID      int
 	Ranks      int
 	EndSeconds float64
+	// Profile is the job's PMEM demand for the interference model; the
+	// zero value when the model is disabled.
+	Profile JobProfile
 }
 
 // NodeView is the scheduler-visible state of one node: a two-socket
@@ -71,11 +86,13 @@ type RunningJob struct {
 // capacity is the binding resource and co-resident jobs are disjoint
 // core sets.
 //
-// Co-resident jobs are modeled as non-interfering: each job's duration
-// is its standalone simulated runtime. The PMEM contention the paper
-// quantifies acts within a job (between its two components); modeling
-// cross-job bandwidth interference on a shared node is future work
-// (see DESIGN.md).
+// Whether co-resident jobs interfere depends on Options.Interference:
+// disabled, each job's duration is its standalone simulated runtime;
+// enabled, jobs whose channels share a socket's PMEM dilate each
+// other's I/O when their combined demand exceeds the socket's
+// bandwidth budget (see interference.go), and EndSeconds values are
+// the engine's current completion estimates, re-evaluated at every
+// residency change.
 type NodeView struct {
 	ID int
 	// Cores is the capacity of each of the node's two sockets.
@@ -121,8 +138,8 @@ func (n *NodeView) EarliestFit(now float64, ranks int) float64 {
 // place adds a resident job to the view (used by policies to track
 // their own tentative placements within one scheduling pass, and by
 // the engine to commit them).
-func (n *NodeView) place(jobID, ranks int, end float64) {
-	n.Running = append(n.Running, RunningJob{JobID: jobID, Ranks: ranks, EndSeconds: end})
+func (n *NodeView) place(jobID, ranks int, end float64, prof JobProfile) {
+	n.Running = append(n.Running, RunningJob{JobID: jobID, Ranks: ranks, EndSeconds: end, Profile: prof})
 }
 
 // remove drops a resident job (completion).
@@ -151,12 +168,14 @@ type Placement struct {
 // time, the pending queue in arrival order, a mutable snapshot of the
 // nodes (policies record tentative placements on it so capacity
 // accounting stays correct across multiple placements in one pass),
-// and the cost model.
+// the cost model, and the interference model in force (zero when
+// disabled).
 type SchedContext struct {
 	Now   float64
 	Queue []Job
 	Nodes []*NodeView
 	Est   Estimator
+	Model Interference
 }
 
 // Fits returns the lowest-ID node with enough free cores for ranks at
@@ -183,9 +202,12 @@ func (c *SchedContext) EarliestFit(ranks int) (float64, int) {
 }
 
 // Place records a tentative placement on the snapshot and returns it.
-// The engine later commits the returned placements in order.
-func (c *SchedContext) Place(job Job, node int, cfg core.Config, duration float64) Placement {
-	c.Nodes[node].place(job.ID, job.Workflow.Ranks, c.Now+duration)
+// The engine later commits the returned placements in order. The
+// profile (zero when the interference model is off) keeps the
+// snapshot's demand accounting correct across multiple placements in
+// one pass.
+func (c *SchedContext) Place(job Job, node int, cfg core.Config, duration float64, prof JobProfile) Placement {
+	c.Nodes[node].place(job.ID, job.Workflow.Ranks, c.Now+duration, prof)
 	return Placement{JobID: job.ID, Node: node, Config: cfg}
 }
 
@@ -205,6 +227,10 @@ type Options struct {
 	// SlowdownBoundSeconds is the bounded-slowdown runtime floor tau in
 	// max(1, (wait+run)/max(run, tau)); 0 selects the conventional 10s.
 	SlowdownBoundSeconds float64
+	// Interference is the cross-job PMEM contention model. The zero
+	// value disables it and the engine's output is byte-identical to
+	// the fixed-duration semantics; see DefaultInterference.
+	Interference Interference
 }
 
 func (o Options) validate() error {
@@ -220,5 +246,5 @@ func (o Options) validate() error {
 	if o.CoresPerSocket < 0 {
 		return fmt.Errorf("cluster: negative cores per socket")
 	}
-	return nil
+	return o.Interference.validate()
 }

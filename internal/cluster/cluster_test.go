@@ -14,9 +14,11 @@ import (
 
 // fakeEst is a canned-duration cost model for crafting queueing
 // scenarios: every (workflow, configuration) runs for the seconds keyed
-// by the workflow's name, and every recommendation is S-LocW.
+// by the workflow's name, every recommendation is S-LocW, and profiles
+// come from an optional per-workflow table (zero profile when absent).
 type fakeEst struct {
-	dur map[string]float64
+	dur  map[string]float64
+	prof map[string]JobProfile
 }
 
 func (f fakeEst) Estimate(wf workflow.Spec, _ core.Config) (float64, error) {
@@ -28,6 +30,13 @@ func (f fakeEst) Estimate(wf workflow.Spec, _ core.Config) (float64, error) {
 }
 
 func (f fakeEst) Recommend(workflow.Spec) (core.Config, error) { return core.SLocW, nil }
+
+func (f fakeEst) Profile(wf workflow.Spec, _ core.Config) (JobProfile, error) {
+	if _, ok := f.dur[wf.Name]; !ok {
+		return JobProfile{}, &unknownWorkflowError{wf.Name}
+	}
+	return f.prof[wf.Name], nil
+}
 
 type unknownWorkflowError struct{ name string }
 
@@ -353,6 +362,38 @@ func TestTraceErrors(t *testing.T) {
 	}
 	if _, err := SuiteTrace(1, 0); err == nil {
 		t.Error("non-positive inter-arrival accepted")
+	}
+}
+
+// TestTraceIDValidation is the regression test for the job-ID indexing
+// bug: the engine indexes per-job state by ID, so a hand-assembled
+// trace with duplicate or non-contiguous IDs used to panic with
+// index-out-of-range or silently merge two jobs' state. Validate must
+// reject IDs that do not equal trace positions, and Simulate must
+// surface that as an error rather than a panic.
+func TestTraceIDValidation(t *testing.T) {
+	wf := workloads.GTCReadOnly(4)
+	est := fakeEst{dur: map[string]float64{wf.Name: 10}}
+	cases := []struct {
+		name string
+		ids  []int
+	}{
+		{"duplicate", []int{0, 0}},
+		{"non-contiguous", []int{1, 2}},
+		{"reversed", []int{1, 0}},
+	}
+	for _, c := range cases {
+		tr := Trace{}
+		for i, id := range c.ids {
+			tr.Jobs = append(tr.Jobs, Job{ID: id, Workflow: wf, ArrivalSeconds: float64(i)})
+		}
+		if err := tr.Validate(); err == nil {
+			t.Errorf("%s IDs validated", c.name)
+		}
+		m, err := Simulate(tr, craftedOptions(EASY(core.SLocW), est))
+		if err == nil {
+			t.Errorf("%s IDs simulated: %+v", c.name, m.Summary())
+		}
 	}
 }
 

@@ -11,6 +11,15 @@ import (
 // and a job completing. Events at equal times apply completions first
 // (freeing capacity before the policy looks at the queue) and break
 // remaining ties by job ID, so the loop is fully deterministic.
+//
+// With the interference model enabled the loop is a fluid reflow
+// engine: jobs track remaining work in standalone-seconds, progress
+// rates are recomputed at every residency change, and completion
+// events are re-posted under a per-job epoch counter — an event whose
+// epoch no longer matches its job's is stale and skipped. With the
+// model disabled no rate ever changes, no event is ever re-posted, and
+// the loop reproduces the original fixed-duration engine byte for
+// byte.
 
 type eventKind uint8
 
@@ -20,9 +29,10 @@ const (
 )
 
 type event struct {
-	at   float64
-	kind eventKind
-	job  int
+	at    float64
+	kind  eventKind
+	job   int
+	epoch int // completion epoch; stale when != the job's current epoch
 }
 
 type eventHeap []event
@@ -35,7 +45,10 @@ func (h eventHeap) Less(a, b int) bool {
 	if h[a].kind != h[b].kind {
 		return h[a].kind < h[b].kind
 	}
-	return h[a].job < h[b].job
+	if h[a].job != h[b].job {
+		return h[a].job < h[b].job
+	}
+	return h[a].epoch < h[b].epoch
 }
 func (h eventHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
 func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
@@ -57,8 +70,15 @@ type jobState struct {
 	node     int
 	cfg      string
 	start    float64
-	duration float64
-	end      float64
+	duration float64 // standalone runtime: the job's total work in standalone-seconds
+	end      float64 // current completion estimate; the actual end once done
+
+	// Fluid-reflow state, used only under the interference model.
+	profile  JobProfile
+	progress float64 // standalone-seconds of work completed
+	rate     float64 // standalone-seconds per wall second (0 = not yet rated)
+	lastAt   float64 // virtual time progress was last integrated to
+	epoch    int     // current completion-event epoch
 }
 
 // Simulate runs the trace through the cluster under the policy and
@@ -83,6 +103,7 @@ func Simulate(tr Trace, opt Options) (*Metrics, error) {
 		}
 	}
 
+	iv := opt.Interference
 	nodes := make([]*NodeView, opt.Nodes)
 	for i := range nodes {
 		nodes[i] = &NodeView{ID: i, Cores: cores}
@@ -94,7 +115,7 @@ func Simulate(tr Trace, opt Options) (*Metrics, error) {
 		events.add(event{at: j.ArrivalSeconds, kind: evArrive, job: j.ID})
 	}
 
-	m := newMetrics(opt.Policy.Name(), opt.Nodes, cores, opt.SlowdownBoundSeconds)
+	m := newMetrics(opt.Policy.Name(), opt.Nodes, cores, opt.SlowdownBoundSeconds, iv.Enabled)
 	var pending []Job
 	prev := 0.0
 	for {
@@ -105,6 +126,7 @@ func Simulate(tr Trace, opt Options) (*Metrics, error) {
 		now := head.at
 		m.integrate(nodes, prev, now)
 		prev = now
+		live := false
 		for {
 			e, ok := events.peek()
 			if !ok || e.at != now {
@@ -115,13 +137,29 @@ func Simulate(tr Trace, opt Options) (*Metrics, error) {
 			switch e.kind {
 			case evArrive:
 				pending = append(pending, st.job)
+				live = true
 			case evComplete:
+				if st.done || e.epoch != st.epoch {
+					continue // superseded by a reflow re-post
+				}
 				st.done = true
+				st.end = now
 				nodes[st.node].remove(st.job.ID)
+				live = true
 			}
 		}
+		if !live {
+			// Every event at this time was stale; occupancy did not
+			// change, so there is nothing to schedule or sample.
+			continue
+		}
+		if iv.Enabled {
+			// Completions changed residency: advance progress to now and
+			// re-rate the survivors before the policy reads EndSeconds.
+			reflow(now, nodes, states, &events, iv)
+		}
 
-		ctx := &SchedContext{Now: now, Queue: append([]Job(nil), pending...), Nodes: snapshot(nodes), Est: opt.Estimator}
+		ctx := &SchedContext{Now: now, Queue: append([]Job(nil), pending...), Nodes: snapshot(nodes), Est: opt.Estimator, Model: iv}
 		placements, err := opt.Policy.Schedule(ctx)
 		if err != nil {
 			return nil, err
@@ -148,9 +186,25 @@ func Simulate(tr Trace, opt Options) (*Metrics, error) {
 			st.start = now
 			st.duration = dur
 			st.end = now + dur
-			nodes[pl.Node].place(st.job.ID, st.job.Workflow.Ranks, st.end)
-			events.add(event{at: st.end, kind: evComplete, job: st.job.ID})
+			if iv.Enabled {
+				prof, err := opt.Estimator.Profile(st.job.Workflow, pl.Config)
+				if err != nil {
+					return nil, fmt.Errorf("cluster: profiling job %d (%s): %w", pl.JobID, st.job.Workflow.Name, err)
+				}
+				st.profile = prof
+				st.lastAt = now
+				// rate stays 0: the reflow below rates the newcomer and
+				// posts its first completion event.
+				nodes[pl.Node].place(st.job.ID, st.job.Workflow.Ranks, st.end, prof)
+			} else {
+				nodes[pl.Node].place(st.job.ID, st.job.Workflow.Ranks, st.end, JobProfile{})
+				events.add(event{at: st.end, kind: evComplete, job: st.job.ID})
+			}
 			pending = removeJob(pending, st.job.ID)
+		}
+		if iv.Enabled && len(placements) > 0 {
+			// Newcomers changed residency: re-rate everyone again.
+			reflow(now, nodes, states, &events, iv)
 		}
 		m.sample(now, nodes)
 	}
@@ -163,6 +217,43 @@ func Simulate(tr Trace, opt Options) (*Metrics, error) {
 	}
 	m.finish()
 	return m, nil
+}
+
+// reflow is the fluid step: integrate every running job's progress up
+// to now under its current rate, recompute rates from the current
+// residency, and for every job whose rate changed re-estimate its
+// completion, bump its epoch, and post a fresh completion event (the
+// old one, now stale, is skipped when it pops). Rates are pure
+// functions of the deterministic residency sets, so reflow preserves
+// the engine's bit-for-bit reproducibility.
+func reflow(now float64, nodes []*NodeView, states []*jobState, events *eventHeap, iv Interference) {
+	for _, n := range nodes {
+		for i := range n.Running {
+			st := states[n.Running[i].JobID]
+			if st.rate > 0 {
+				st.progress += (now - st.lastAt) * st.rate
+			}
+			st.lastAt = now
+		}
+	}
+	for _, n := range nodes {
+		for i := range n.Running {
+			st := states[n.Running[i].JobID]
+			rate := n.rateOn(iv, st.profile)
+			if rate == st.rate {
+				continue
+			}
+			st.rate = rate
+			remaining := st.duration - st.progress
+			if remaining < 0 {
+				remaining = 0
+			}
+			st.end = now + remaining/rate
+			st.epoch++
+			n.Running[i].EndSeconds = st.end
+			events.add(event{at: st.end, kind: evComplete, job: st.job.ID, epoch: st.epoch})
+		}
+	}
 }
 
 // snapshot deep-copies the node views so policies can tentatively

@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"fmt"
+
+	"pmemsched/internal/core"
+	"pmemsched/internal/pmem"
+	"pmemsched/internal/workflow"
+)
+
+// Cross-job PMEM interference on shared nodes.
+//
+// The paper's central finding is that PMEM bandwidth collapses under
+// concurrent access; the single-node cost model captures that *within*
+// a job (between its simulation and analytics components). This file
+// extends it *across* jobs sharing a node: each job carries an
+// I/O-intensity profile derived from its memoized standalone run, each
+// node's sockets carry PMEM bandwidth budgets from the device curves,
+// and when the combined demand on a socket exceeds its budget, every
+// job streaming through that socket's PMEM progresses more slowly — a
+// fluid approximation of the §VI contention measurements, applied at
+// cluster scale the way SIM-SITU applies contention-aware progress
+// models to in-situ workflows.
+
+// JobProfile is one job's PMEM demand under its chosen configuration,
+// derived from the memoized core.Result phase breakdown: how much of
+// the standalone runtime the job spends streaming through PMEM, the
+// bytes it moves per second of runtime, and which socket's PMEM holds
+// its channel.
+type JobProfile struct {
+	// IOFraction is the fraction of the job's standalone runtime spent
+	// in device transfer (writer + reader per-rank mean I/O time over
+	// total runtime), clamped to [0, 1]. Only this fraction of the
+	// job's execution dilates under cross-job contention; the compute
+	// fraction is unaffected.
+	IOFraction float64
+	// ReadBytesPerSecond and WriteBytesPerSecond are the job's mean
+	// bandwidth demands on its channel's PMEM, averaged over the
+	// standalone runtime. The analytics component reads exactly the
+	// bytes the simulation writes, so both demands move the same total
+	// volume.
+	ReadBytesPerSecond  float64
+	WriteBytesPerSecond float64
+	// DeviceSocket is the socket whose PMEM holds the job's streaming
+	// channel (0 for LocW placements, 1 for LocR in the canonical
+	// two-socket deployment). Jobs with channels on different sockets
+	// of the same node do not contend.
+	DeviceSocket int
+}
+
+// ProfileFromResult derives the job profile from a memoized standalone
+// result: total snapshot volume over runtime gives the mean demand, the
+// phase breakdown gives the I/O duty cycle, and the configuration's
+// deployment names the device socket.
+func ProfileFromResult(wf workflow.Spec, cfg core.Config, res core.Result) JobProfile {
+	p := JobProfile{DeviceSocket: int(cfg.Deployment().DeviceSocket)}
+	if res.TotalSeconds <= 0 {
+		return p
+	}
+	bytes := float64(wf.Simulation.BytesPerRank()) * float64(wf.Ranks) * float64(wf.Iterations)
+	p.WriteBytesPerSecond = bytes / res.TotalSeconds
+	p.ReadBytesPerSecond = bytes / res.TotalSeconds
+	p.IOFraction = clampUnit((res.Writer.IO + res.Reader.IO) / res.TotalSeconds)
+	return p
+}
+
+// Interference configures the shared-node contention model. The zero
+// value disables it, in which case the engine reproduces the original
+// fixed-duration semantics byte for byte.
+type Interference struct {
+	// Enabled turns the model on.
+	Enabled bool
+	// ReadBandwidthPerSocket and WriteBandwidthPerSocket are each
+	// socket's PMEM budgets in bytes/second. Demand beyond a budget
+	// dilates the I/O fraction of every job streaming through that
+	// socket proportionally.
+	ReadBandwidthPerSocket  float64
+	WriteBandwidthPerSocket float64
+}
+
+// DefaultInterference returns the model parameterized by the Gen-1
+// Optane curves: per-socket budgets at the device's peak interleaved
+// read and write bandwidths. Budgets are deliberately the *peaks* —
+// each job's standalone runtime already pays its own within-job
+// contention, so the cross-job model only charges for demand the
+// device cannot serve even at its best.
+func DefaultInterference() Interference {
+	m := pmem.Gen1Optane()
+	return Interference{
+		Enabled:                 true,
+		ReadBandwidthPerSocket:  m.ReadMax,
+		WriteBandwidthPerSocket: m.WriteMax,
+	}
+}
+
+func (iv Interference) validate() error {
+	if !iv.Enabled {
+		return nil
+	}
+	if iv.ReadBandwidthPerSocket <= 0 || iv.WriteBandwidthPerSocket <= 0 {
+		return fmt.Errorf("cluster: interference model needs positive per-socket bandwidth budgets (read %g, write %g)",
+			iv.ReadBandwidthPerSocket, iv.WriteBandwidthPerSocket)
+	}
+	return nil
+}
+
+// overloadFactor returns how far the socket's combined demand exceeds
+// its budgets (>= 1): the factor by which I/O through that socket's
+// PMEM dilates. Reads and writes are budgeted independently — the
+// device serves them from different envelopes — and the binding one
+// governs, since the streaming channel advances at the slower side.
+func (iv Interference) overloadFactor(read, write float64) float64 {
+	f := 1.0
+	if r := read / iv.ReadBandwidthPerSocket; r > f {
+		f = r
+	}
+	if w := write / iv.WriteBandwidthPerSocket; w > f {
+		f = w
+	}
+	return f
+}
+
+// rate returns the job's progress rate in standalone-seconds per wall
+// second given its socket's overload factor: the compute fraction runs
+// at full speed, the I/O fraction dilates by the factor.
+func (iv Interference) rate(p JobProfile, factor float64) float64 {
+	if factor <= 1 || p.IOFraction <= 0 {
+		return 1
+	}
+	return 1 / ((1 - p.IOFraction) + p.IOFraction*factor)
+}
+
+// socketDemand sums the resident jobs' demand on one socket's PMEM.
+func (n *NodeView) socketDemand(socket int) (read, write float64) {
+	for _, r := range n.Running {
+		if r.Profile.DeviceSocket == socket {
+			read += r.Profile.ReadBytesPerSecond
+			write += r.Profile.WriteBytesPerSecond
+		}
+	}
+	return read, write
+}
+
+// OverloadAfter returns the overload factor the job's device socket
+// would reach if the job joined the node's residents: the score the
+// interference-aware policies minimize when several nodes fit.
+func (n *NodeView) OverloadAfter(iv Interference, p JobProfile) float64 {
+	read, write := n.socketDemand(p.DeviceSocket)
+	return iv.overloadFactor(read+p.ReadBytesPerSecond, write+p.WriteBytesPerSecond)
+}
+
+// rateOn returns the current progress rate of a resident profile on the
+// node under the model.
+func (n *NodeView) rateOn(iv Interference, p JobProfile) float64 {
+	read, write := n.socketDemand(p.DeviceSocket)
+	return iv.rate(p, iv.overloadFactor(read, write))
+}
+
+func clampUnit(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -27,6 +27,12 @@ type JobRecord struct {
 	WaitSeconds       float64 `json:"wait_seconds"`
 	TurnaroundSeconds float64 `json:"turnaround_seconds"`
 	BoundedSlowdown   float64 `json:"bounded_slowdown"`
+	// StandaloneSeconds and Stretch report cross-job interference: the
+	// job's dedicated-node runtime and actual-over-standalone dilation
+	// (>= 1). Populated only when the interference model is enabled, so
+	// interference-off reports keep their original byte-exact shape.
+	StandaloneSeconds float64 `json:"standalone_seconds,omitempty"`
+	Stretch           float64 `json:"stretch,omitempty"`
 }
 
 // Sample is one point of the per-node utilization time series: the
@@ -49,6 +55,11 @@ type Summary struct {
 	MeanTurnaroundSeconds float64 `json:"mean_turnaround_seconds"`
 	MeanBoundedSlowdown   float64 `json:"mean_bounded_slowdown"`
 	MaxBoundedSlowdown    float64 `json:"max_bounded_slowdown"`
+	// Interference and the stretch aggregates appear only when the
+	// cross-job interference model was enabled for the run.
+	Interference bool    `json:"interference,omitempty"`
+	MeanStretch  float64 `json:"mean_stretch,omitempty"`
+	MaxStretch   float64 `json:"max_stretch,omitempty"`
 	// MeanUtilization is busy core-seconds over available core-seconds
 	// (nodes x cores x makespan), cluster-wide and per node.
 	MeanUtilization float64   `json:"mean_utilization"`
@@ -63,24 +74,26 @@ type Metrics struct {
 	Records []JobRecord
 	Series  []Sample
 
-	policy  string
-	nodes   int
-	cores   int
-	bound   float64
-	busy    []float64 // per-node busy core-seconds, integrated between events
-	summary Summary
+	policy       string
+	nodes        int
+	cores        int
+	bound        float64
+	interference bool
+	busy         []float64 // per-node busy core-seconds, integrated between events
+	summary      Summary
 }
 
-func newMetrics(policy string, nodes, cores int, bound float64) *Metrics {
+func newMetrics(policy string, nodes, cores int, bound float64, interference bool) *Metrics {
 	if bound <= 0 {
 		bound = DefaultSlowdownBoundSeconds
 	}
 	return &Metrics{
-		policy: policy,
-		nodes:  nodes,
-		cores:  cores,
-		bound:  bound,
-		busy:   make([]float64, nodes),
+		policy:       policy,
+		nodes:        nodes,
+		cores:        cores,
+		bound:        bound,
+		interference: interference,
+		busy:         make([]float64, nodes),
 	}
 }
 
@@ -104,11 +117,32 @@ func (m *Metrics) sample(now float64, nodes []*NodeView) {
 	m.Series = append(m.Series, s)
 }
 
-// record registers a finished job.
+// record registers a finished job. Under the interference model the
+// run time is the reflowed actual (end - start) and the record carries
+// the standalone runtime and the stretch; without it the actual run IS
+// the standalone duration and the interference fields stay zero (and
+// so out of the serialized output).
 func (m *Metrics) record(st *jobState) {
 	wait := st.start - st.job.ArrivalSeconds
 	turnaround := st.end - st.job.ArrivalSeconds
 	run := st.duration
+	rec := JobRecord{
+		ID:             st.job.ID,
+		Workflow:       st.job.Workflow.Name,
+		Ranks:          st.job.Workflow.Ranks,
+		Node:           st.node,
+		Config:         st.cfg,
+		ArrivalSeconds: st.job.ArrivalSeconds,
+		StartSeconds:   st.start,
+		EndSeconds:     st.end,
+	}
+	if m.interference {
+		run = st.end - st.start
+		rec.StandaloneSeconds = st.duration
+		if st.duration > 0 {
+			rec.Stretch = run / st.duration
+		}
+	}
 	floor := run
 	if floor < m.bound {
 		floor = m.bound
@@ -117,20 +151,11 @@ func (m *Metrics) record(st *jobState) {
 	if bsld < 1 {
 		bsld = 1
 	}
-	m.Records = append(m.Records, JobRecord{
-		ID:                st.job.ID,
-		Workflow:          st.job.Workflow.Name,
-		Ranks:             st.job.Workflow.Ranks,
-		Node:              st.node,
-		Config:            st.cfg,
-		ArrivalSeconds:    st.job.ArrivalSeconds,
-		StartSeconds:      st.start,
-		EndSeconds:        st.end,
-		RunSeconds:        run,
-		WaitSeconds:       wait,
-		TurnaroundSeconds: turnaround,
-		BoundedSlowdown:   bsld,
-	})
+	rec.RunSeconds = run
+	rec.WaitSeconds = wait
+	rec.TurnaroundSeconds = turnaround
+	rec.BoundedSlowdown = bsld
+	m.Records = append(m.Records, rec)
 }
 
 // finish computes the aggregate summary once all records are in.
@@ -140,6 +165,7 @@ func (m *Metrics) finish() {
 		Nodes:           m.nodes,
 		CoresPerSocket:  m.cores,
 		Jobs:            len(m.Records),
+		Interference:    m.interference,
 		NodeUtilization: make([]float64, m.nodes),
 	}
 	for _, r := range m.Records {
@@ -155,11 +181,18 @@ func (m *Metrics) finish() {
 		if r.BoundedSlowdown > s.MaxBoundedSlowdown {
 			s.MaxBoundedSlowdown = r.BoundedSlowdown
 		}
+		if m.interference {
+			s.MeanStretch += r.Stretch
+			if r.Stretch > s.MaxStretch {
+				s.MaxStretch = r.Stretch
+			}
+		}
 	}
 	if n := float64(len(m.Records)); n > 0 {
 		s.MeanWaitSeconds /= n
 		s.MeanTurnaroundSeconds /= n
 		s.MeanBoundedSlowdown /= n
+		s.MeanStretch /= n
 	}
 	if s.MakespanSeconds > 0 {
 		total := 0.0
@@ -222,6 +255,11 @@ func (m *Metrics) Render(w io.Writer) error {
 		s.MeanBoundedSlowdown, s.MaxBoundedSlowdown, 100*s.MeanUtilization); err != nil {
 		return err
 	}
+	if s.Interference {
+		if _, err := fmt.Fprintf(w, "interference on | stretch mean %.3f max %.3f\n", s.MeanStretch, s.MaxStretch); err != nil {
+			return err
+		}
+	}
 	for i, u := range s.NodeUtilization {
 		if _, err := fmt.Fprintf(w, "  node %d utilization %.1f%%\n", i, 100*u); err != nil {
 			return err
@@ -231,15 +269,20 @@ func (m *Metrics) Render(w io.Writer) error {
 }
 
 func (m *Metrics) jobTable() *trace.Table {
-	t := &trace.Table{
-		Title:   "per-job metrics",
-		Columns: []string{"job", "workflow", "ranks", "node", "config", "arrival", "start", "end", "wait", "bsld"},
+	cols := []string{"job", "workflow", "ranks", "node", "config", "arrival", "start", "end", "wait", "bsld"}
+	if m.interference {
+		cols = append(cols, "stretch")
 	}
+	t := &trace.Table{Title: "per-job metrics", Columns: cols}
 	for _, r := range m.Records {
-		t.AddRow(r.ID, r.Workflow, r.Ranks, r.Node, r.Config,
+		row := []any{r.ID, r.Workflow, r.Ranks, r.Node, r.Config,
 			fmt.Sprintf("%.2f", r.ArrivalSeconds), fmt.Sprintf("%.2f", r.StartSeconds),
 			fmt.Sprintf("%.2f", r.EndSeconds), fmt.Sprintf("%.2f", r.WaitSeconds),
-			fmt.Sprintf("%.3f", r.BoundedSlowdown))
+			fmt.Sprintf("%.3f", r.BoundedSlowdown)}
+		if m.interference {
+			row = append(row, fmt.Sprintf("%.3f", r.Stretch))
+		}
+		t.AddRow(row...)
 	}
 	return t
 }

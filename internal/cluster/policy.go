@@ -49,15 +49,34 @@ func PMEMAware() Policy {
 	return &listPolicy{name: "pmem-aware", backfill: true}
 }
 
+// EASYInterferenceAware is EASY whose node choice minimizes projected
+// PMEM oversubscription: among the nodes with enough free cores, a job
+// goes to the one where its device socket's combined bandwidth demand
+// overshoots its budget the least — avoiding co-placing two
+// bandwidth-bound jobs whenever an alternative node exists. With the
+// interference model disabled it degrades to plain EASY (lowest-ID
+// first fit).
+func EASYInterferenceAware(cfg core.Config) Policy {
+	return &listPolicy{name: "easy-i/" + cfg.Label(), fixed: &cfg, backfill: true, aware: true}
+}
+
+// PMEMAwareInterferenceAware combines per-job Table II configurations
+// with interference-aware node choice: the full scheduler the
+// interference experiment evaluates.
+func PMEMAwareInterferenceAware() Policy {
+	return &listPolicy{name: "pmem-aware-i", backfill: true, aware: true}
+}
+
 // Policies returns the selectable policy set for a fixed configuration:
 // the three disciplines the CLI and the online experiment expose.
 func Policies(fixed core.Config) []Policy {
 	return []Policy{FCFS(fixed), EASY(fixed), PMEMAware()}
 }
 
-// ParsePolicy resolves a CLI policy name: "fcfs", "easy" or
-// "pmem-aware", where fixed supplies the site-wide configuration of the
-// first two.
+// ParsePolicy resolves a CLI policy name: "fcfs", "easy", "pmem-aware",
+// or the interference-aware variants "easy-i" and "pmem-aware-i", where
+// fixed supplies the site-wide configuration of the fixed-config
+// disciplines.
 func ParsePolicy(name string, fixed core.Config) (Policy, error) {
 	switch strings.ToLower(name) {
 	case "fcfs":
@@ -66,17 +85,23 @@ func ParsePolicy(name string, fixed core.Config) (Policy, error) {
 		return EASY(fixed), nil
 	case "pmem-aware", "pmem":
 		return PMEMAware(), nil
+	case "easy-i":
+		return EASYInterferenceAware(fixed), nil
+	case "pmem-aware-i", "pmem-i":
+		return PMEMAwareInterferenceAware(), nil
 	}
-	return nil, fmt.Errorf("cluster: unknown policy %q (want fcfs, easy or pmem-aware)", name)
+	return nil, fmt.Errorf("cluster: unknown policy %q (want fcfs, easy, pmem-aware, easy-i or pmem-aware-i)", name)
 }
 
 // listPolicy is the shared list-scheduling core: arrival-order scan,
-// optional EASY backfill, and either a fixed configuration or per-job
-// Table II recommendations.
+// optional EASY backfill, either a fixed configuration or per-job
+// Table II recommendations, and either first-fit or interference-aware
+// node choice.
 type listPolicy struct {
 	name     string
 	fixed    *core.Config // nil: ask the estimator for a recommendation
 	backfill bool
+	aware    bool // minimize projected PMEM oversubscription when picking nodes
 }
 
 func (p *listPolicy) Name() string { return p.name }
@@ -89,6 +114,41 @@ func (p *listPolicy) config(ctx *SchedContext, j Job) (core.Config, error) {
 	return ctx.Est.Recommend(j.Workflow)
 }
 
+// profile fetches the job's PMEM-demand profile when the interference
+// model is on (so the snapshot's demand accounting stays correct across
+// a pass) and returns the zero profile otherwise.
+func (p *listPolicy) profile(ctx *SchedContext, j Job, cfg core.Config) (JobProfile, error) {
+	if !ctx.Model.Enabled {
+		return JobProfile{}, nil
+	}
+	prof, err := ctx.Est.Profile(j.Workflow, cfg)
+	if err != nil {
+		return JobProfile{}, fmt.Errorf("cluster: %s: profiling job %d (%s): %w", p.name, j.ID, j.Workflow.Name, err)
+	}
+	return prof, nil
+}
+
+// pick chooses a node for the job: lowest-ID first fit normally, and
+// for interference-aware variants the fitting node whose projected
+// device-socket overload is smallest (ties to the lower ID), so two
+// bandwidth-bound jobs are not co-placed while an uncontended node
+// exists. Returns -1 when no node fits.
+func (p *listPolicy) pick(ctx *SchedContext, ranks int, prof JobProfile) int {
+	if !p.aware || !ctx.Model.Enabled {
+		return ctx.Fits(ranks)
+	}
+	best, bestScore := -1, inf()
+	for _, n := range ctx.Nodes {
+		if n.FreeAt(ctx.Now) < ranks {
+			continue
+		}
+		if score := n.OverloadAfter(ctx.Model, prof); score < bestScore {
+			best, bestScore = n.ID, score
+		}
+	}
+	return best
+}
+
 func (p *listPolicy) Schedule(ctx *SchedContext) ([]Placement, error) {
 	var placed []Placement
 	queue := append([]Job(nil), ctx.Queue...)
@@ -98,12 +158,16 @@ func (p *listPolicy) Schedule(ctx *SchedContext) ([]Placement, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: %s: configuring job %d (%s): %w", p.name, head.ID, head.Workflow.Name, err)
 		}
-		if node := ctx.Fits(head.Workflow.Ranks); node >= 0 {
+		prof, err := p.profile(ctx, head, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if node := p.pick(ctx, head.Workflow.Ranks, prof); node >= 0 {
 			dur, err := ctx.Est.Estimate(head.Workflow, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("cluster: %s: estimating job %d (%s): %w", p.name, head.ID, head.Workflow.Name, err)
 			}
-			placed = append(placed, ctx.Place(head, node, cfg, dur))
+			placed = append(placed, ctx.Place(head, node, cfg, dur, prof))
 			queue = queue[1:]
 			continue
 		}
@@ -134,13 +198,17 @@ func (p *listPolicy) backfillBehind(ctx *SchedContext, head Job, rest []Job) ([]
 	}
 	var placed []Placement
 	for _, j := range rest {
-		node := ctx.Fits(j.Workflow.Ranks)
-		if node < 0 {
-			continue
-		}
 		cfg, err := p.config(ctx, j)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: %s: configuring job %d (%s): %w", p.name, j.ID, j.Workflow.Name, err)
+		}
+		prof, err := p.profile(ctx, j, cfg)
+		if err != nil {
+			return nil, err
+		}
+		node := p.pick(ctx, j.Workflow.Ranks, prof)
+		if node < 0 {
+			continue
 		}
 		dur, err := ctx.Est.Estimate(j.Workflow, cfg)
 		if err != nil {
@@ -152,7 +220,7 @@ func (p *listPolicy) backfillBehind(ctx *SchedContext, head Job, rest []Job) ([]
 			ctx.Nodes[reserved].FreeAt(shadow)-j.Workflow.Ranks < head.Workflow.Ranks {
 			continue
 		}
-		placed = append(placed, ctx.Place(j, node, cfg, dur))
+		placed = append(placed, ctx.Place(j, node, cfg, dur, prof))
 	}
 	return placed, nil
 }

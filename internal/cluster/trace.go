@@ -47,13 +47,19 @@ type Trace struct {
 }
 
 // Validate reports whether the trace is well-formed: non-empty, valid
-// workflows, non-negative arrivals in non-decreasing order.
+// workflows, non-negative arrivals in non-decreasing order, and job IDs
+// equal to their positions. The engine indexes its per-job state by ID,
+// so a hand-assembled trace with duplicate or non-contiguous IDs would
+// otherwise panic or silently merge two jobs' state.
 func (t Trace) Validate() error {
 	if len(t.Jobs) == 0 {
 		return fmt.Errorf("cluster: empty trace")
 	}
 	prev := 0.0
 	for i, j := range t.Jobs {
+		if j.ID != i {
+			return fmt.Errorf("cluster: trace job at position %d has ID %d (IDs must equal trace positions)", i, j.ID)
+		}
 		if err := j.Workflow.Validate(); err != nil {
 			return fmt.Errorf("cluster: trace job %d: %w", i, err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -147,6 +148,12 @@ func fanOut(n, workers int, fn func(int)) {
 // most once per key. Concurrent requests for an in-flight key wait for
 // the first execution; later requests are served from the cache.
 // Errors are memoized too — a failing job fails identically on replay.
+//
+// A panicking exec is converted into a memoized error rather than left
+// to unwind: the worker slot is released and done is closed under
+// defer, so neither the pool nor waiters on the same key can leak. The
+// panic value folds into the error, making replays of the poisoned key
+// deterministic.
 func (st *runnerState) do(key string, exec func() (any, error)) (any, error) {
 	st.mu.Lock()
 	if e, ok := st.cache[key]; ok {
@@ -166,9 +173,16 @@ func (st *runnerState) do(key string, exec func() (any, error)) (any, error) {
 	st.misses.Add(1)
 
 	st.sem <- struct{}{} // acquire a worker slot
-	e.value, e.err = exec()
-	<-st.sem
-	close(e.done)
+	func() {
+		defer func() {
+			<-st.sem
+			if r := recover(); r != nil {
+				e.value, e.err = nil, fmt.Errorf("core: run panicked: %v", r)
+			}
+			close(e.done)
+		}()
+		e.value, e.err = exec()
+	}()
 	return e.value, e.err
 }
 

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"pmemsched/internal/numa"
 	"pmemsched/internal/platform"
@@ -140,6 +142,46 @@ func TestRunnerErrorsMemoized(t *testing.T) {
 	// Batch propagates the first error in job order.
 	if _, err := rt.RunBatch([]Job{ConfigJob(wf, SLocW)}); err == nil {
 		t.Fatal("batch with invalid job succeeded")
+	}
+}
+
+// TestRunnerPanicSafe is the regression test for the panic leak: a
+// panicking execution used to leave its cache entry's done channel
+// unclosed and its worker slot held, so every later request for the key
+// blocked forever and the pool permanently shrank. The engine must
+// instead memoize a deterministic error, release the slot, and unblock
+// waiters.
+func TestRunnerPanicSafe(t *testing.T) {
+	rt := NewRunner(DefaultEnv(), 1) // one worker slot: a leaked slot starves the pool
+	st := rt.state
+
+	_, panicErr := st.do("boom", func() (any, error) { panic("kaboom") })
+	if panicErr == nil || !strings.Contains(panicErr.Error(), "kaboom") {
+		t.Fatalf("panicking exec returned %v, want a memoized panic error", panicErr)
+	}
+
+	// The worker slot was released: a fresh key on the 1-slot pool still
+	// executes instead of deadlocking.
+	v, err := st.do("ok", func() (any, error) { return 42, nil })
+	if err != nil || v != 42 {
+		t.Fatalf("pool starved after panic: got (%v, %v)", v, err)
+	}
+
+	// done was closed and the error memoized: a waiter on the poisoned
+	// key gets the identical error instead of blocking forever, and the
+	// replacement exec never runs.
+	got := make(chan error, 1)
+	go func() {
+		_, err := st.do("boom", func() (any, error) { t.Error("poisoned key re-executed"); return nil, nil })
+		got <- err
+	}()
+	select {
+	case err2 := <-got:
+		if err2 == nil || err2.Error() != panicErr.Error() {
+			t.Errorf("replayed error %v, want %v", err2, panicErr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("request for the poisoned key blocked")
 	}
 }
 

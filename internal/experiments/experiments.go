@@ -174,6 +174,7 @@ func All() []Experiment {
 		{"jitter", "Robustness to compute-load imbalance (extension)", JitterRobustness},
 		{"placement", "Deployment-space search on four sockets (extension)", PlacementSpace},
 		{"online", "Online cluster scheduling: PMEM-aware vs fixed configurations (extension)", OnlineSched},
+		{"interference", "Cross-job PMEM interference: oblivious vs interference-aware placement (extension)", InterferenceSched},
 	}
 }
 
