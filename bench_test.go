@@ -145,6 +145,11 @@ func BenchmarkPlacementSpace(b *testing.B) { benchExperiment(b, "placement") }
 // the PMEM-aware policy against each fixed site-wide configuration.
 func BenchmarkOnlineSched(b *testing.B) { benchExperiment(b, "online") }
 
+// BenchmarkFaultSched runs the online trace on an unreliable 2-node
+// cluster at three seeded failure rates, with and without
+// checkpoint-restart.
+func BenchmarkFaultSched(b *testing.B) { benchExperiment(b, "faults") }
+
 // BenchmarkInterferenceSched runs the bandwidth-heavy trace through the
 // fluid reflow engine at every load factor, comparing each oblivious
 // policy against its interference-aware variant.

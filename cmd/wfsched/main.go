@@ -11,6 +11,9 @@
 //	wfsched -format json                 # machine-readable report (byte-identical per seed)
 //	wfsched -interference                # model cross-job PMEM contention on shared nodes
 //	wfsched -interference -policy easy-i # ...and place jobs to avoid bandwidth collisions
+//	wfsched -faults -mtbf 3600           # seeded random node failures, jobs retried with backoff
+//	wfsched -faults -checkpoint 300      # ...with checkpoint-restart every 300 standalone-seconds
+//	wfsched -fault-schedule outages.json # explicit outage schedule (see internal/cluster.ReadOutages)
 //	wfsched -dump-trace trace.json       # write the generated trace for reuse
 package main
 
@@ -41,6 +44,13 @@ func main() {
 	stackName := flag.String("stack", "nova", "storage stack: nova or nvstream")
 	dumpTrace := flag.String("dump-trace", "", "also write the job trace as JSON to this path")
 	interference := flag.Bool("interference", false, "model cross-job PMEM bandwidth contention on shared nodes (Optane budgets)")
+	faults := flag.Bool("faults", false, "model node failures: random MTBF/MTTR outages seeded from -seed (see -mtbf, -mttr)")
+	mtbf := flag.Float64("mtbf", 3600, "mean time between failures per node, seconds (with -faults)")
+	mttr := flag.Float64("mttr", 120, "mean repair time per node, seconds (with -faults)")
+	faultSchedule := flag.String("fault-schedule", "", "explicit JSON outage schedule; implies -faults and overrides -mtbf/-mttr")
+	retries := flag.Int("retries", 0, "max attempts per job under faults; 0 = the default policy (4)")
+	backoff := flag.Float64("backoff", -1, "base requeue backoff in seconds, doubling per kill; negative = default (10)")
+	checkpoint := flag.Float64("checkpoint", 0, "checkpoint-restart interval in standalone-seconds; 0 = restart from scratch")
 	flag.Parse()
 
 	env, err := envFor(*stackName)
@@ -81,6 +91,9 @@ func main() {
 	}
 	if *interference {
 		opt.Interference = cluster.DefaultInterference()
+	}
+	if err := faultOptions(&opt, *faults, *faultSchedule, *mtbf, *mttr, *seed, *retries, *backoff, *checkpoint); err != nil {
+		fatal(err)
 	}
 	metrics, err := cluster.Simulate(tr, opt)
 	if err != nil {
@@ -126,6 +139,41 @@ func selectTrace(tracePath string, jobs int, interarrival float64, seed int64) (
 	default:
 		return cluster.SuiteTrace(seed, interarrival)
 	}
+}
+
+// faultOptions fills opt.Faults and opt.Retry from the fault flag set.
+// An explicit schedule implies -faults; the random model reuses the
+// trace seed so one -seed pins the whole run.
+func faultOptions(opt *cluster.Options, faults bool, schedule string, mtbf, mttr float64, seed int64, retries int, backoff, checkpoint float64) error {
+	if schedule != "" {
+		f, err := os.Open(schedule)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		outages, err := cluster.ReadOutages(f)
+		if err != nil {
+			return err
+		}
+		opt.Faults = cluster.ScheduledFaults(outages...)
+	} else if faults {
+		opt.Faults = cluster.RandomFaults(mtbf, mttr, seed)
+	} else {
+		if retries != 0 || backoff >= 0 || checkpoint != 0 {
+			return fmt.Errorf("-retries/-backoff/-checkpoint need -faults or -fault-schedule")
+		}
+		return nil
+	}
+	retry := cluster.DefaultRetry()
+	if retries != 0 {
+		retry.MaxAttempts = retries
+	}
+	if backoff >= 0 {
+		retry.BackoffSeconds = backoff
+	}
+	retry.CheckpointIntervalSeconds = checkpoint
+	opt.Retry = retry
+	return nil
 }
 
 func envFor(name string) (core.Env, error) {

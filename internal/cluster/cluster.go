@@ -100,11 +100,20 @@ type NodeView struct {
 	// Running lists resident jobs in placement order (deterministic:
 	// commit order, which the engine fixes).
 	Running []RunningJob
+	// Down marks a failed node (fault model only): it holds no jobs and
+	// accepts no placements until UpSeconds, its already-known repair
+	// time (drawn or scheduled when the failure fired).
+	Down      bool
+	UpSeconds float64
 }
 
 // FreeAt returns the cores free on each socket at time t, assuming no
 // further placements: jobs whose end is after t still hold their cores.
+// A down node has no capacity before its repair time.
 func (n *NodeView) FreeAt(t float64) int {
+	if n.Down && t < n.UpSeconds {
+		return 0
+	}
 	free := n.Cores
 	for _, r := range n.Running {
 		if r.EndSeconds > t {
@@ -119,6 +128,14 @@ func (n *NodeView) FreeAt(t float64) int {
 func (n *NodeView) EarliestFit(now float64, ranks int) float64 {
 	if ranks > n.Cores {
 		return inf()
+	}
+	if n.Down {
+		// A down node is empty (the failure killed its residents), so it
+		// fits any legal job the moment it comes back.
+		if up := n.UpSeconds; up > now {
+			return up
+		}
+		return now
 	}
 	if n.FreeAt(now) >= ranks {
 		return now
@@ -176,6 +193,23 @@ type SchedContext struct {
 	Nodes []*NodeView
 	Est   Estimator
 	Model Interference
+	// avoid[jobID] is the node whose failure killed the job's latest
+	// attempt (-1 otherwise), cleared once the job starts again. Down
+	// nodes have no capacity at all; the failure-aware policy variants
+	// additionally use this to steer a retried job away from its failed
+	// node when it is freshly repaired and other nodes fit.
+	avoid []int
+}
+
+// AvoidNode returns the node whose failure killed the job's latest
+// attempt (until the job starts again), or -1. The failure-aware
+// policies treat it as a soft constraint: the job still goes there
+// when no other node fits.
+func (c *SchedContext) AvoidNode(jobID int) int {
+	if c.avoid == nil || jobID < 0 || jobID >= len(c.avoid) {
+		return -1
+	}
+	return c.avoid[jobID]
 }
 
 // Fits returns the lowest-ID node with enough free cores for ranks at
@@ -231,6 +265,14 @@ type Options struct {
 	// value disables it and the engine's output is byte-identical to
 	// the fixed-duration semantics; see DefaultInterference.
 	Interference Interference
+	// Faults is the node failure/recovery model. The zero value
+	// disables it and the engine's output is byte-identical to the
+	// fault-free semantics; see RandomFaults and ScheduledFaults.
+	Faults FaultModel
+	// Retry governs killed jobs when Faults is enabled: requeue with
+	// exponential backoff, bounded attempts, optional
+	// checkpoint-restart. The zero value selects DefaultRetry().
+	Retry RetryPolicy
 }
 
 func (o Options) validate() error {
@@ -246,5 +288,21 @@ func (o Options) validate() error {
 	if o.CoresPerSocket < 0 {
 		return fmt.Errorf("cluster: negative cores per socket")
 	}
+	if err := o.Faults.validate(o.Nodes); err != nil {
+		return err
+	}
+	if err := o.retry().validate(); err != nil {
+		return err
+	}
 	return o.Interference.validate()
+}
+
+// retry resolves the effective retry policy: the zero value selects
+// the default. Always valid to call; only consulted when faults are
+// enabled.
+func (o Options) retry() RetryPolicy {
+	if o.Retry == (RetryPolicy{}) {
+		return DefaultRetry()
+	}
+	return o.Retry
 }

@@ -7,10 +7,14 @@ import (
 	"pmemsched/internal/numa"
 )
 
-// The virtual-clock event loop. Two event kinds exist: a job arriving
-// and a job completing. Events at equal times apply completions first
-// (freeing capacity before the policy looks at the queue) and break
-// remaining ties by job ID, so the loop is fully deterministic.
+// The virtual-clock event loop. Four event kinds exist: a job
+// arriving, a job completing, a node failing and a node recovering.
+// Events at equal times apply completions first (freeing capacity
+// before the policy looks at the queue), then arrivals, then node
+// failures and repairs, and break remaining ties by job/node ID, so
+// the loop is fully deterministic. All events at one time are drained
+// before the policy runs, so the intra-instant order only fixes how
+// state mutations compose.
 //
 // With the interference model enabled the loop is a fluid reflow
 // engine: jobs track remaining work in standalone-seconds, progress
@@ -20,18 +24,29 @@ import (
 // model disabled no rate ever changes, no event is ever re-posted, and
 // the loop reproduces the original fixed-duration engine byte for
 // byte.
+//
+// With the fault model enabled, node-down events kill every resident
+// job (bumping its epoch, so any queued completion event goes stale)
+// and hand it to the retry policy: requeue with exponential backoff
+// via a fresh arrival event, or permanent failure once its attempt
+// budget is spent. Checkpoint credit carries whole checkpoint
+// intervals of standalone-seconds across attempts. With the model
+// disabled no node event is ever posted and no code path below
+// diverges from the fault-free engine.
 
 type eventKind uint8
 
 const (
 	evComplete eventKind = iota // frees capacity: apply before arrivals
 	evArrive
+	evNodeDown // kills residents; ordered after completions at the same instant
+	evNodeUp
 )
 
 type event struct {
 	at    float64
 	kind  eventKind
-	job   int
+	job   int // job ID, or node ID for evNodeDown/evNodeUp
 	epoch int // completion epoch; stale when != the job's current epoch
 }
 
@@ -75,10 +90,16 @@ type jobState struct {
 
 	// Fluid-reflow state, used only under the interference model.
 	profile  JobProfile
-	progress float64 // standalone-seconds of work completed
+	progress float64 // standalone-seconds of work completed (incl. credit)
 	rate     float64 // standalone-seconds per wall second (0 = not yet rated)
 	lastAt   float64 // virtual time progress was last integrated to
 	epoch    int     // current completion-event epoch
+
+	// Fault-model state, used only when failures are enabled.
+	attempts int     // times the job has started
+	credit   float64 // checkpointed standalone-seconds carried into the next attempt
+	wasted   float64 // standalone-seconds lost to kills (work beyond the last checkpoint)
+	failed   bool    // retry budget exhausted; the job will never complete
 }
 
 // Simulate runs the trace through the cluster under the policy and
@@ -104,6 +125,7 @@ func Simulate(tr Trace, opt Options) (*Metrics, error) {
 	}
 
 	iv := opt.Interference
+	retry := opt.retry()
 	nodes := make([]*NodeView, opt.Nodes)
 	for i := range nodes {
 		nodes[i] = &NodeView{ID: i, Cores: cores}
@@ -114,10 +136,24 @@ func Simulate(tr Trace, opt Options) (*Metrics, error) {
 		states[i] = &jobState{job: j, node: -1}
 		events.add(event{at: j.ArrivalSeconds, kind: evArrive, job: j.ID})
 	}
+	var faults *faultDriver
+	var avoid []int
+	if opt.Faults.Enabled {
+		var err error
+		if faults, err = newFaultDriver(opt.Faults, opt.Nodes); err != nil {
+			return nil, err
+		}
+		faults.start(opt.Nodes, &events)
+		avoid = make([]int, len(states))
+		for i := range avoid {
+			avoid[i] = -1
+		}
+	}
 
-	m := newMetrics(opt.Policy.Name(), opt.Nodes, cores, opt.SlowdownBoundSeconds, iv.Enabled)
+	m := newMetrics(opt.Policy.Name(), opt.Nodes, cores, opt.SlowdownBoundSeconds, iv.Enabled, opt.Faults.Enabled)
 	var pending []Job
 	prev := 0.0
+	finished := 0 // completed or permanently failed jobs
 	for {
 		head, ok := events.peek()
 		if !ok {
@@ -133,18 +169,37 @@ func Simulate(tr Trace, opt Options) (*Metrics, error) {
 				break
 			}
 			e = events.next()
-			st := states[e.job]
 			switch e.kind {
 			case evArrive:
-				pending = append(pending, st.job)
+				pending = append(pending, states[e.job].job)
 				live = true
 			case evComplete:
+				st := states[e.job]
 				if st.done || e.epoch != st.epoch {
-					continue // superseded by a reflow re-post
+					continue // superseded by a reflow re-post or a kill
 				}
 				st.done = true
 				st.end = now
 				nodes[st.node].remove(st.job.ID)
+				finished++
+				live = true
+			case evNodeDown:
+				n := nodes[e.job]
+				n.Down = true
+				n.UpSeconds = faults.repairAt(e.job, now)
+				events.add(event{at: n.UpSeconds, kind: evNodeUp, job: e.job})
+				for _, r := range n.Running {
+					finished += kill(states[r.JobID], retry, iv, now, avoid, &events)
+				}
+				n.Running = n.Running[:0]
+				live = true
+			case evNodeUp:
+				n := nodes[e.job]
+				n.Down = false
+				n.UpSeconds = 0
+				if at, ok := faults.nextDown(e.job, now); ok {
+					events.add(event{at: at, kind: evNodeDown, job: e.job})
+				}
 				live = true
 			}
 		}
@@ -159,7 +214,7 @@ func Simulate(tr Trace, opt Options) (*Metrics, error) {
 			reflow(now, nodes, states, &events, iv)
 		}
 
-		ctx := &SchedContext{Now: now, Queue: append([]Job(nil), pending...), Nodes: snapshot(nodes), Est: opt.Estimator, Model: iv}
+		ctx := &SchedContext{Now: now, Queue: append([]Job(nil), pending...), Nodes: snapshot(nodes), Est: opt.Estimator, Model: iv, avoid: avoid}
 		placements, err := opt.Policy.Schedule(ctx)
 		if err != nil {
 			return nil, err
@@ -172,6 +227,9 @@ func Simulate(tr Trace, opt Options) (*Metrics, error) {
 				return nil, fmt.Errorf("cluster: policy %s placed job %d on unknown node %d", opt.Policy.Name(), pl.JobID, pl.Node)
 			}
 			st := states[pl.JobID]
+			if nodes[pl.Node].Down {
+				return nil, fmt.Errorf("cluster: policy %s placed job %d on failed node %d", opt.Policy.Name(), pl.JobID, pl.Node)
+			}
 			if nodes[pl.Node].FreeAt(now) < st.job.Workflow.Ranks {
 				return nil, fmt.Errorf("cluster: policy %s overcommitted node %d with job %d (%d ranks, %d cores free)",
 					opt.Policy.Name(), pl.Node, pl.JobID, st.job.Workflow.Ranks, nodes[pl.Node].FreeAt(now))
@@ -180,25 +238,34 @@ func Simulate(tr Trace, opt Options) (*Metrics, error) {
 			if err != nil {
 				return nil, fmt.Errorf("cluster: executing job %d (%s): %w", pl.JobID, st.job.Workflow.Name, err)
 			}
+			remaining := dur - st.credit // checkpoint credit resumes mid-job
+			if remaining < 0 {
+				remaining = 0
+			}
 			st.started = true
+			st.attempts++
 			st.node = pl.Node
 			st.cfg = pl.Config.Label()
 			st.start = now
 			st.duration = dur
-			st.end = now + dur
+			st.end = now + remaining
+			if avoid != nil {
+				avoid[pl.JobID] = -1
+			}
 			if iv.Enabled {
 				prof, err := opt.Estimator.Profile(st.job.Workflow, pl.Config)
 				if err != nil {
 					return nil, fmt.Errorf("cluster: profiling job %d (%s): %w", pl.JobID, st.job.Workflow.Name, err)
 				}
 				st.profile = prof
+				st.progress = st.credit
 				st.lastAt = now
 				// rate stays 0: the reflow below rates the newcomer and
 				// posts its first completion event.
 				nodes[pl.Node].place(st.job.ID, st.job.Workflow.Ranks, st.end, prof)
 			} else {
 				nodes[pl.Node].place(st.job.ID, st.job.Workflow.Ranks, st.end, JobProfile{})
-				events.add(event{at: st.end, kind: evComplete, job: st.job.ID})
+				events.add(event{at: st.end, kind: evComplete, job: st.job.ID, epoch: st.epoch})
 			}
 			pending = removeJob(pending, st.job.ID)
 		}
@@ -207,6 +274,14 @@ func Simulate(tr Trace, opt Options) (*Metrics, error) {
 			reflow(now, nodes, states, &events, iv)
 		}
 		m.sample(now, nodes)
+		if finished == len(states) {
+			// Every job has completed or permanently failed. Leaving now
+			// (instead of draining the heap) is what terminates a random
+			// failure schedule, whose node events would otherwise repost
+			// forever; any remaining events are stale or node flaps over
+			// an empty cluster, which produce no output either way.
+			break
+		}
 	}
 
 	if len(pending) > 0 {
@@ -256,12 +331,52 @@ func reflow(now float64, nodes []*NodeView, states []*jobState, events *eventHea
 	}
 }
 
+// kill handles one resident job on a failing node: integrate its
+// progress, bank whole checkpoint intervals as credit, charge the rest
+// as waste, and either requeue it with exponential backoff or fail it
+// permanently once its attempt budget is spent. Returns 1 when the job
+// permanently failed (it counts as finished), 0 when it will retry.
+// The caller clears the node's resident list.
+func kill(st *jobState, retry RetryPolicy, iv Interference, now float64, avoid []int, events *eventHeap) int {
+	achieved := st.credit + (now - st.start)
+	if iv.Enabled {
+		// Fluid progress is exact: integrate to the failure instant under
+		// the rate that held since the last residency change.
+		if st.rate > 0 {
+			st.progress += (now - st.lastAt) * st.rate
+		}
+		st.lastAt = now
+		achieved = st.progress
+	}
+	if achieved > st.duration {
+		achieved = st.duration
+	}
+	st.credit = retry.credit(achieved)
+	st.wasted += achieved - st.credit
+	st.started = false
+	st.rate = 0
+	st.epoch++ // any queued completion event for this attempt is now stale
+	if st.attempts >= retry.MaxAttempts {
+		// Out of attempts: the job fails permanently and its banked
+		// checkpoints never pay off.
+		st.failed = true
+		st.end = now
+		st.wasted += st.credit
+		st.credit = 0
+		return 1
+	}
+	avoid[st.job.ID] = st.node
+	events.add(event{at: now + retry.backoff(st.attempts), kind: evArrive, job: st.job.ID})
+	return 0
+}
+
 // snapshot deep-copies the node views so policies can tentatively
 // place jobs without touching the authoritative state.
 func snapshot(nodes []*NodeView) []*NodeView {
 	out := make([]*NodeView, len(nodes))
 	for i, n := range nodes {
-		out[i] = &NodeView{ID: n.ID, Cores: n.Cores, Running: append([]RunningJob(nil), n.Running...)}
+		out[i] = &NodeView{ID: n.ID, Cores: n.Cores, Running: append([]RunningJob(nil), n.Running...),
+			Down: n.Down, UpSeconds: n.UpSeconds}
 	}
 	return out
 }

@@ -1,0 +1,282 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Node failure and recovery.
+//
+// The paper's Table-II rules assume every workflow runs to completion;
+// production clusters lose nodes mid-job. This file adds a seeded,
+// deterministic failure/recovery model to the online scheduler: nodes
+// go down (killing every resident job) and come back up, either on an
+// explicit outage schedule or at exponentially distributed intervals
+// drawn from a seeded RNG. Killed jobs are requeued under a bounded
+// exponential-backoff retry policy, optionally crediting completed
+// work at checkpoint boundaries — the fluid progress tracking from the
+// interference engine makes the credited standalone-seconds exact.
+//
+// Everything stays deterministic: all randomness comes from the
+// model's seed, fault events ride the same event heap as arrivals and
+// completions, and with the model disabled the engine's output is
+// byte-identical to the fault-free engine (pinned by the golden
+// files).
+
+// Outage is one scheduled node failure: the node is down over
+// [DownSeconds, UpSeconds) and every job resident at DownSeconds is
+// killed.
+type Outage struct {
+	Node        int     `json:"node"`
+	DownSeconds float64 `json:"down_seconds"`
+	UpSeconds   float64 `json:"up_seconds"`
+}
+
+// FaultModel configures node failures. The zero value disables the
+// model. When Outages is non-empty the schedule is explicit (and
+// exhaustive: nodes stay up after their last outage); otherwise
+// failures are random with per-node exponential time-to-failure
+// (mean MTBFSeconds) and repair (mean MTTRSeconds) times drawn from
+// the seeded RNG.
+type FaultModel struct {
+	// Enabled turns the model on.
+	Enabled bool
+	// Outages is the explicit failure schedule; empty selects the
+	// random MTBF/MTTR model.
+	Outages []Outage
+	// MTBFSeconds is each node's mean time between failures (the mean
+	// of the exponential time-to-failure distribution, measured from
+	// the previous repair).
+	MTBFSeconds float64
+	// MTTRSeconds is the mean repair time.
+	MTTRSeconds float64
+	// Seed seeds the failure RNG; equal seeds produce byte-identical
+	// failure sequences.
+	Seed int64
+}
+
+// RandomFaults returns the random failure model: per-node exponential
+// time-to-failure and repair draws from one RNG seeded with seed.
+func RandomFaults(mtbfSeconds, mttrSeconds float64, seed int64) FaultModel {
+	return FaultModel{Enabled: true, MTBFSeconds: mtbfSeconds, MTTRSeconds: mttrSeconds, Seed: seed}
+}
+
+// ScheduledFaults returns the explicit-schedule failure model.
+func ScheduledFaults(outages ...Outage) FaultModel {
+	return FaultModel{Enabled: true, Outages: append([]Outage(nil), outages...)}
+}
+
+func (fm FaultModel) validate(nodes int) error {
+	if !fm.Enabled {
+		return nil
+	}
+	if len(fm.Outages) == 0 {
+		if fm.MTBFSeconds <= 0 || fm.MTTRSeconds <= 0 {
+			return fmt.Errorf("cluster: random fault model needs positive MTBF and MTTR (got %g, %g)",
+				fm.MTBFSeconds, fm.MTTRSeconds)
+		}
+		return nil
+	}
+	last := make([]float64, nodes) // end of each node's previous outage
+	for i := range last {
+		last[i] = -1
+	}
+	for i, o := range sortedOutages(fm.Outages) {
+		if o.Node < 0 || o.Node >= nodes {
+			return fmt.Errorf("cluster: outage %d names node %d, cluster has %d", i, o.Node, nodes)
+		}
+		if o.DownSeconds < 0 || o.UpSeconds <= o.DownSeconds {
+			return fmt.Errorf("cluster: outage %d on node %d: down %g, up %g (need 0 <= down < up)",
+				i, o.Node, o.DownSeconds, o.UpSeconds)
+		}
+		if o.DownSeconds < last[o.Node] {
+			return fmt.Errorf("cluster: outage %d on node %d starts at %g before the previous outage ends at %g",
+				i, o.Node, o.DownSeconds, last[o.Node])
+		}
+		last[o.Node] = o.UpSeconds
+	}
+	return nil
+}
+
+// sortedOutages returns the outages ordered by (down time, node) — the
+// order the event loop will observe them in.
+func sortedOutages(outages []Outage) []Outage {
+	out := append([]Outage(nil), outages...)
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].DownSeconds != out[b].DownSeconds {
+			return out[a].DownSeconds < out[b].DownSeconds
+		}
+		return out[a].Node < out[b].Node
+	})
+	return out
+}
+
+// The JSON form of an explicit outage schedule, for wfsched
+// -fault-schedule:
+//
+//	{"outages": [{"node": 0, "down_seconds": 30, "up_seconds": 90}]}
+type outagesJSON struct {
+	Outages []Outage `json:"outages"`
+}
+
+// ReadOutages decodes an explicit outage schedule from JSON. Structural
+// validation (node range, overlap) happens against the cluster size in
+// Simulate; here only the document shape is checked.
+func ReadOutages(r io.Reader) ([]Outage, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var doc outagesJSON
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("cluster: decoding outage schedule: %w", err)
+	}
+	if len(doc.Outages) == 0 {
+		return nil, fmt.Errorf("cluster: outage schedule lists no outages")
+	}
+	return doc.Outages, nil
+}
+
+// WriteOutages encodes an outage schedule as JSON, the inverse of
+// ReadOutages.
+func WriteOutages(w io.Writer, outages []Outage) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(outagesJSON{Outages: outages})
+}
+
+// RetryPolicy governs what happens to a job killed by a node failure:
+// it is requeued with exponential backoff until its attempt budget is
+// exhausted, at which point it fails permanently. With a checkpoint
+// interval, completed standalone-seconds are credited at checkpoint
+// boundaries and the next attempt resumes from the last checkpoint
+// instead of from scratch.
+type RetryPolicy struct {
+	// MaxAttempts bounds the number of times a job may start (>= 1).
+	// A job killed on its MaxAttempts-th attempt fails permanently.
+	MaxAttempts int
+	// BackoffSeconds is the requeue delay after the first kill; 0
+	// requeues immediately.
+	BackoffSeconds float64
+	// BackoffFactor multiplies the delay after each further kill
+	// (>= 1); the delay before attempt k+1 is
+	// BackoffSeconds * BackoffFactor^(k-1).
+	BackoffFactor float64
+	// CheckpointIntervalSeconds is the checkpoint grain in
+	// standalone-seconds of progress; 0 disables checkpointing and
+	// every attempt restarts from scratch. A killed job keeps
+	// floor(progress/interval)*interval standalone-seconds of credit.
+	CheckpointIntervalSeconds float64
+}
+
+// DefaultRetry is the retry policy used when faults are enabled and no
+// policy is given: four attempts, 10 s base backoff doubling per kill,
+// no checkpointing.
+func DefaultRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BackoffSeconds: 10, BackoffFactor: 2}
+}
+
+func (r RetryPolicy) validate() error {
+	if r.MaxAttempts < 1 {
+		return fmt.Errorf("cluster: retry policy needs at least one attempt (got %d)", r.MaxAttempts)
+	}
+	if r.BackoffSeconds < 0 {
+		return fmt.Errorf("cluster: negative retry backoff %g", r.BackoffSeconds)
+	}
+	if r.BackoffFactor < 1 {
+		return fmt.Errorf("cluster: retry backoff factor %g must be >= 1", r.BackoffFactor)
+	}
+	if r.CheckpointIntervalSeconds < 0 {
+		return fmt.Errorf("cluster: negative checkpoint interval %g", r.CheckpointIntervalSeconds)
+	}
+	return nil
+}
+
+// backoff returns the requeue delay after the attempts-th kill.
+func (r RetryPolicy) backoff(attempts int) float64 {
+	d := r.BackoffSeconds
+	for i := 1; i < attempts; i++ {
+		d *= r.BackoffFactor
+	}
+	return d
+}
+
+// credit returns the standalone-seconds a killed job keeps out of
+// achieved progress: whole checkpoint intervals only.
+func (r RetryPolicy) credit(achieved float64) float64 {
+	if r.CheckpointIntervalSeconds <= 0 || achieved <= 0 {
+		return 0
+	}
+	return math.Floor(achieved/r.CheckpointIntervalSeconds) * r.CheckpointIntervalSeconds
+}
+
+// faultDriver feeds node-down/node-up times to the event loop. Only
+// the first failure of each node is posted up front; each repair time
+// is produced when the failure fires and each subsequent failure when
+// the repair fires, so explicit and random schedules sequence
+// identically and a schedule can follow the simulation however long it
+// runs.
+type faultDriver struct {
+	// Random model: one RNG shared across nodes; draws happen in event
+	// order, which the heap makes deterministic.
+	rng  *rand.Rand
+	mtbf float64
+	mttr float64
+	// Explicit model: per-node outage queues in time order.
+	sched [][]Outage
+}
+
+func newFaultDriver(fm FaultModel, nodes int) (*faultDriver, error) {
+	if err := fm.validate(nodes); err != nil {
+		return nil, err
+	}
+	d := &faultDriver{}
+	if len(fm.Outages) == 0 {
+		d.rng = rand.New(rand.NewSource(fm.Seed))
+		d.mtbf = fm.MTBFSeconds
+		d.mttr = fm.MTTRSeconds
+		return d, nil
+	}
+	d.sched = make([][]Outage, nodes)
+	for _, o := range sortedOutages(fm.Outages) {
+		d.sched[o.Node] = append(d.sched[o.Node], o)
+	}
+	return d, nil
+}
+
+// start posts each node's first failure onto the event heap.
+func (d *faultDriver) start(nodes int, events *eventHeap) {
+	for n := 0; n < nodes; n++ {
+		if at, ok := d.nextDown(n, 0); ok {
+			events.add(event{at: at, kind: evNodeDown, job: n})
+		}
+	}
+}
+
+// repairAt returns when the outage that just took the node down ends.
+func (d *faultDriver) repairAt(node int, now float64) float64 {
+	if d.rng != nil {
+		return now + d.rng.ExpFloat64()*d.mttr
+	}
+	o := d.sched[node][0]
+	d.sched[node] = d.sched[node][1:]
+	return o.UpSeconds
+}
+
+// nextDown returns the node's next failure time at or after now, or
+// ok=false when an explicit schedule has no more outages for it.
+func (d *faultDriver) nextDown(node int, now float64) (float64, bool) {
+	if d.rng != nil {
+		return now + d.rng.ExpFloat64()*d.mtbf, true
+	}
+	if len(d.sched[node]) == 0 {
+		return 0, false
+	}
+	at := d.sched[node][0].DownSeconds
+	if at < now {
+		at = now
+	}
+	return at, true
+}

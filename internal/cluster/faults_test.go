@@ -1,0 +1,375 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"pmemsched/internal/core"
+	"pmemsched/internal/workloads"
+)
+
+// faultTrace builds the hand-computed failure scenario used by the
+// retry/checkpoint tests, on one 6-cores-per-socket node:
+//
+//	A (4 ranks, 100s) and B (2 ranks, 50s) both arrive at t=0 and start
+//	together. The node fails over [30, 40): both are killed with 30s of
+//	progress, keep a 20s checkpoint (interval 20), waste 10s each, and
+//	requeue at t=35 (5s backoff). The node is still down at 35, so both
+//	wait for the repair and restart at t=40 with 20s credited: A runs
+//	its remaining 80s to t=120, B its remaining 30s to t=70.
+func faultTrace() (Trace, fakeEst) {
+	a := workloads.GTCReadOnly(4)
+	b := workloads.MiniAMRReadOnly(2)
+	tr := Trace{Jobs: []Job{
+		{ID: 0, Workflow: a, ArrivalSeconds: 0},
+		{ID: 1, Workflow: b, ArrivalSeconds: 0},
+	}}
+	est := fakeEst{dur: map[string]float64{a.Name: 100, b.Name: 50}}
+	return tr, est
+}
+
+func faultRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BackoffSeconds: 5, BackoffFactor: 2, CheckpointIntervalSeconds: 20}
+}
+
+func faultOptions(p Policy, est Estimator, fm FaultModel, r RetryPolicy) Options {
+	return Options{Nodes: 1, CoresPerSocket: 6, Policy: p, Estimator: est, Faults: fm, Retry: r}
+}
+
+func recordOf(t *testing.T, m *Metrics, id int) JobRecord {
+	t.Helper()
+	for _, r := range m.Records {
+		if r.ID == id {
+			return r
+		}
+	}
+	t.Fatalf("no record for job %d", id)
+	return JobRecord{}
+}
+
+func close9(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+// TestCheckpointRestartHandComputed pins the crafted failure scenario's
+// whole schedule: kill instants, checkpoint credit, backoff requeue,
+// restart-after-repair, and the goodput/badput split.
+func TestCheckpointRestartHandComputed(t *testing.T) {
+	tr, est := faultTrace()
+	m, err := Simulate(tr, faultOptions(EASY(core.SLocW), est,
+		ScheduledFaults(Outage{Node: 0, DownSeconds: 30, UpSeconds: 40}), faultRetry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		id                      int
+		start, end, run, wasted float64
+		standalone              float64
+		attempts                int
+	}{
+		{id: 0, start: 40, end: 120, run: 80, wasted: 10, standalone: 100, attempts: 2},
+		{id: 1, start: 40, end: 70, run: 30, wasted: 10, standalone: 50, attempts: 2},
+	}
+	for _, w := range want {
+		r := recordOf(t, m, w.id)
+		if !close9(r.StartSeconds, w.start) || !close9(r.EndSeconds, w.end) || !close9(r.RunSeconds, w.run) {
+			t.Errorf("job %d: start/end/run = %.3f/%.3f/%.3f, want %.3f/%.3f/%.3f",
+				w.id, r.StartSeconds, r.EndSeconds, r.RunSeconds, w.start, w.end, w.run)
+		}
+		if !close9(r.WastedStandaloneSeconds, w.wasted) || !close9(r.StandaloneSeconds, w.standalone) {
+			t.Errorf("job %d: wasted/standalone = %.3f/%.3f, want %.3f/%.3f",
+				w.id, r.WastedStandaloneSeconds, r.StandaloneSeconds, w.wasted, w.standalone)
+		}
+		if r.Attempts != w.attempts || r.Failed {
+			t.Errorf("job %d: attempts %d failed %v, want %d false", w.id, r.Attempts, r.Failed, w.attempts)
+		}
+	}
+	s := m.Summary()
+	if s.CompletedJobs != 2 || s.FailedJobs != 0 || s.TotalAttempts != 4 {
+		t.Errorf("summary completed/failed/attempts = %d/%d/%d, want 2/0/4",
+			s.CompletedJobs, s.FailedJobs, s.TotalAttempts)
+	}
+	if !close9(s.GoodputStandaloneSeconds, 150) || !close9(s.BadputStandaloneSeconds, 20) {
+		t.Errorf("goodput/badput = %.3f/%.3f, want 150/20", s.GoodputStandaloneSeconds, s.BadputStandaloneSeconds)
+	}
+	if !close9(s.MakespanSeconds, 120) {
+		t.Errorf("makespan %.3f, want 120", s.MakespanSeconds)
+	}
+}
+
+// TestExponentialBackoffSchedule walks one job through three kills with
+// checkpointing off: each requeue delay doubles (5, 10, 20s), wasted
+// work accumulates the full progress of every killed attempt, and the
+// final attempt runs the whole job.
+func TestExponentialBackoffSchedule(t *testing.T) {
+	a := workloads.GTCReadOnly(4)
+	tr := Trace{Jobs: []Job{{ID: 0, Workflow: a, ArrivalSeconds: 0}}}
+	est := fakeEst{dur: map[string]float64{a.Name: 100}}
+	retry := RetryPolicy{MaxAttempts: 4, BackoffSeconds: 5, BackoffFactor: 2}
+	m, err := Simulate(tr, faultOptions(EASY(core.SLocW), est, ScheduledFaults(
+		Outage{Node: 0, DownSeconds: 10, UpSeconds: 11}, // kill at 10s progress -> requeue 15
+		Outage{Node: 0, DownSeconds: 20, UpSeconds: 21}, // kill at 5s progress  -> requeue 30
+		Outage{Node: 0, DownSeconds: 40, UpSeconds: 41}, // kill at 10s progress -> requeue 60
+	), retry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := recordOf(t, m, 0)
+	if r.Attempts != 4 || r.Failed {
+		t.Fatalf("attempts %d failed %v, want 4 false", r.Attempts, r.Failed)
+	}
+	if !close9(r.StartSeconds, 60) || !close9(r.EndSeconds, 160) || !close9(r.RunSeconds, 100) {
+		t.Errorf("final attempt start/end/run = %.3f/%.3f/%.3f, want 60/160/100",
+			r.StartSeconds, r.EndSeconds, r.RunSeconds)
+	}
+	if !close9(r.WastedStandaloneSeconds, 25) {
+		t.Errorf("wasted %.3f, want 25 (10+5+10, no checkpoints)", r.WastedStandaloneSeconds)
+	}
+}
+
+// TestRetryExhaustionForfeitsCredit kills a job on its last allowed
+// attempt: it fails permanently at the kill instant, its banked
+// checkpoint credit moves to badput, and the simulation ends without
+// waiting out the remaining outage.
+func TestRetryExhaustionForfeitsCredit(t *testing.T) {
+	a := workloads.GTCReadOnly(4)
+	tr := Trace{Jobs: []Job{{ID: 0, Workflow: a, ArrivalSeconds: 0}}}
+	est := fakeEst{dur: map[string]float64{a.Name: 100}}
+	retry := faultRetry()
+	retry.MaxAttempts = 2
+	m, err := Simulate(tr, faultOptions(EASY(core.SLocW), est, ScheduledFaults(
+		Outage{Node: 0, DownSeconds: 30, UpSeconds: 40},
+		Outage{Node: 0, DownSeconds: 80, UpSeconds: 200},
+	), retry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := recordOf(t, m, 0)
+	if !r.Failed || r.Attempts != 2 {
+		t.Fatalf("failed %v attempts %d, want true 2", r.Failed, r.Attempts)
+	}
+	// First kill at t=30: 30s progress, 20s checkpointed, 10s wasted.
+	// Restart at t=40 with 20s credit; second kill at t=80 has 60s
+	// achieved, all checkpointed — but permanent failure forfeits the
+	// whole 60s bank, so wasted is 10 + 60.
+	if !close9(r.StartSeconds, 40) || !close9(r.EndSeconds, 80) {
+		t.Errorf("final attempt start/end = %.3f/%.3f, want 40/80", r.StartSeconds, r.EndSeconds)
+	}
+	if !close9(r.WastedStandaloneSeconds, 70) {
+		t.Errorf("wasted %.3f, want 70", r.WastedStandaloneSeconds)
+	}
+	s := m.Summary()
+	if s.CompletedJobs != 0 || s.FailedJobs != 1 || !close9(s.GoodputStandaloneSeconds, 0) || !close9(s.BadputStandaloneSeconds, 70) {
+		t.Errorf("summary completed/failed/goodput/badput = %d/%d/%.3f/%.3f, want 0/1/0/70",
+			s.CompletedJobs, s.FailedJobs, s.GoodputStandaloneSeconds, s.BadputStandaloneSeconds)
+	}
+	// The engine must stop at the permanent failure, not idle until the
+	// outage schedule runs out at t=200.
+	if !close9(s.MakespanSeconds, 80) {
+		t.Errorf("makespan %.3f, want 80", s.MakespanSeconds)
+	}
+}
+
+// TestFailedJobExportsStayFinite is the NaN/Inf regression: a job that
+// exhausts its retries still produces finite JSON (encoding/json
+// rejects NaN and Inf outright) and CSV with no NaN cells.
+func TestFailedJobExportsStayFinite(t *testing.T) {
+	a := workloads.GTCReadOnly(4)
+	tr := Trace{Jobs: []Job{{ID: 0, Workflow: a, ArrivalSeconds: 0}}}
+	est := fakeEst{dur: map[string]float64{a.Name: 100}}
+	retry := RetryPolicy{MaxAttempts: 1, BackoffSeconds: 5, BackoffFactor: 2}
+	m, err := Simulate(tr, faultOptions(EASY(core.SLocW), est,
+		ScheduledFaults(Outage{Node: 0, DownSeconds: 0, UpSeconds: 10}), retry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The kill fires at t=0 with zero progress: start == end == run == 0
+	// is the degenerate record most likely to divide by zero.
+	var js bytes.Buffer
+	if err := m.WriteJSON(&js); err != nil {
+		t.Fatalf("WriteJSON with a failed job: %v", err)
+	}
+	if !json.Valid(js.Bytes()) {
+		t.Error("JSON report with a failed job is not valid JSON")
+	}
+	var csv bytes.Buffer
+	if err := m.WriteCSV(&csv); err != nil {
+		t.Fatalf("WriteCSV with a failed job: %v", err)
+	}
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(csv.String(), bad) {
+			t.Errorf("CSV report contains %s", bad)
+		}
+	}
+	r := recordOf(t, m, 0)
+	if math.IsNaN(r.BoundedSlowdown) || math.IsInf(r.BoundedSlowdown, 0) || r.BoundedSlowdown < 1 {
+		t.Errorf("failed job's bounded slowdown %v, want finite >= 1", r.BoundedSlowdown)
+	}
+}
+
+// TestFailureAwarePlacementAvoidsFailedNode pins the avoid-node
+// behavior on two nodes: after a kill, the aware variant restarts the
+// job on the other node even though the failed one has recovered, while
+// plain EASY goes straight back to the lowest-ID node.
+func TestFailureAwarePlacementAvoidsFailedNode(t *testing.T) {
+	a := workloads.GTCReadOnly(4)
+	tr := Trace{Jobs: []Job{{ID: 0, Workflow: a, ArrivalSeconds: 0}}}
+	est := fakeEst{dur: map[string]float64{a.Name: 100}}
+	fm := ScheduledFaults(Outage{Node: 0, DownSeconds: 10, UpSeconds: 12})
+	retry := RetryPolicy{MaxAttempts: 3, BackoffSeconds: 5, BackoffFactor: 2}
+	for _, tc := range []struct {
+		policy   Policy
+		wantNode int
+	}{
+		{EASY(core.SLocW), 0},                  // oblivious: first fit returns to node 0
+		{EASYInterferenceAware(core.SLocW), 1}, // failure-aware: steer away from the killer
+	} {
+		opt := faultOptions(tc.policy, est, fm, retry)
+		opt.Nodes = 2
+		m, err := Simulate(tr, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Requeue at t=15: node 0 is back up at 12, so both nodes fit.
+		r := recordOf(t, m, 0)
+		if r.Node != tc.wantNode {
+			t.Errorf("%s: retried job restarted on node %d, want %d", tc.policy.Name(), r.Node, tc.wantNode)
+		}
+		if !close9(r.StartSeconds, 15) || r.Attempts != 2 {
+			t.Errorf("%s: restart at %.3f with %d attempts, want 15 with 2", tc.policy.Name(), r.StartSeconds, r.Attempts)
+		}
+	}
+}
+
+// TestFaultRerunByteIdentical runs the scripted scenario twice from
+// scratch and demands byte-identical reports — the determinism contract
+// with faults on.
+func TestFaultRerunByteIdentical(t *testing.T) {
+	run := func() []byte {
+		tr, est := faultTrace()
+		m, err := Simulate(tr, faultOptions(EASY(core.SLocW), est,
+			ScheduledFaults(Outage{Node: 0, DownSeconds: 30, UpSeconds: 40}), faultRetry()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := m.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Error("two fresh faulted simulations produced different bytes")
+	}
+}
+
+// TestRandomFaultsDeterministic pins the random model: equal seeds give
+// byte-identical reports, different seeds a different failure history.
+func TestRandomFaultsDeterministic(t *testing.T) {
+	run := func(seed int64) []byte {
+		tr, est := faultTrace()
+		m, err := Simulate(tr, faultOptions(EASY(core.SLocW), est, RandomFaults(40, 10, seed), faultRetry()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := m.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(run(3), run(3)) {
+		t.Error("equal seeds produced different bytes")
+	}
+	if bytes.Equal(run(3), run(4)) {
+		t.Error("different seeds produced identical reports — the RNG is not wired through")
+	}
+}
+
+// TestRetryPolicyMath unit-tests the backoff and checkpoint-credit
+// arithmetic the schedules above depend on.
+func TestRetryPolicyMath(t *testing.T) {
+	r := RetryPolicy{MaxAttempts: 4, BackoffSeconds: 5, BackoffFactor: 2, CheckpointIntervalSeconds: 20}
+	for i, want := range map[int]float64{1: 5, 2: 10, 3: 20, 4: 40} {
+		if got := r.backoff(i); !close9(got, want) {
+			t.Errorf("backoff(%d) = %g, want %g", i, got, want)
+		}
+	}
+	for achieved, want := range map[float64]float64{-1: 0, 0: 0, 19.99: 0, 20: 20, 59.9: 40, 60: 60} {
+		if got := r.credit(achieved); !close9(got, want) {
+			t.Errorf("credit(%g) = %g, want %g", achieved, got, want)
+		}
+	}
+	r.CheckpointIntervalSeconds = 0
+	if got := r.credit(100); got != 0 {
+		t.Errorf("credit with checkpointing off = %g, want 0", got)
+	}
+}
+
+// TestFaultModelValidation exercises every rejection path of the model
+// and retry-policy validators through Simulate.
+func TestFaultModelValidation(t *testing.T) {
+	tr, est := faultTrace()
+	cases := []struct {
+		name string
+		fm   FaultModel
+		r    RetryPolicy
+	}{
+		{"random needs mtbf", FaultModel{Enabled: true, MTTRSeconds: 10}, DefaultRetry()},
+		{"random needs mttr", FaultModel{Enabled: true, MTBFSeconds: 10}, DefaultRetry()},
+		{"outage node out of range", ScheduledFaults(Outage{Node: 1, DownSeconds: 0, UpSeconds: 1}), DefaultRetry()},
+		{"outage negative down", ScheduledFaults(Outage{Node: 0, DownSeconds: -1, UpSeconds: 1}), DefaultRetry()},
+		{"outage up before down", ScheduledFaults(Outage{Node: 0, DownSeconds: 5, UpSeconds: 5}), DefaultRetry()},
+		{"overlapping outages", ScheduledFaults(
+			Outage{Node: 0, DownSeconds: 0, UpSeconds: 10},
+			Outage{Node: 0, DownSeconds: 5, UpSeconds: 20}), DefaultRetry()},
+		{"zero attempts", ScheduledFaults(Outage{Node: 0, DownSeconds: 0, UpSeconds: 1}),
+			RetryPolicy{MaxAttempts: 0, BackoffSeconds: 1, BackoffFactor: 2}},
+		{"negative backoff", ScheduledFaults(Outage{Node: 0, DownSeconds: 0, UpSeconds: 1}),
+			RetryPolicy{MaxAttempts: 1, BackoffSeconds: -1, BackoffFactor: 2}},
+		{"shrinking backoff factor", ScheduledFaults(Outage{Node: 0, DownSeconds: 0, UpSeconds: 1}),
+			RetryPolicy{MaxAttempts: 1, BackoffSeconds: 1, BackoffFactor: 0.5}},
+		{"negative checkpoint", ScheduledFaults(Outage{Node: 0, DownSeconds: 0, UpSeconds: 1}),
+			RetryPolicy{MaxAttempts: 1, BackoffSeconds: 1, BackoffFactor: 2, CheckpointIntervalSeconds: -1}},
+	}
+	for _, tc := range cases {
+		if _, err := Simulate(tr, faultOptions(EASY(core.SLocW), est, tc.fm, tc.r)); err == nil {
+			t.Errorf("%s: Simulate accepted an invalid configuration", tc.name)
+		}
+	}
+	// Adjacent outages (up == next down) are legal.
+	ok := ScheduledFaults(
+		Outage{Node: 0, DownSeconds: 0, UpSeconds: 10},
+		Outage{Node: 0, DownSeconds: 10, UpSeconds: 20})
+	if _, err := Simulate(tr, faultOptions(EASY(core.SLocW), est, ok, DefaultRetry())); err != nil {
+		t.Errorf("adjacent outages rejected: %v", err)
+	}
+}
+
+// TestOutagesRoundTrip pins the outage-schedule JSON schema and its
+// rejection paths.
+func TestOutagesRoundTrip(t *testing.T) {
+	in := []Outage{{Node: 0, DownSeconds: 30, UpSeconds: 90}, {Node: 1, DownSeconds: 5, UpSeconds: 6}}
+	var buf bytes.Buffer
+	if err := WriteOutages(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadOutages(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) || out[0] != in[0] || out[1] != in[1] {
+		t.Errorf("round trip: got %+v, want %+v", out, in)
+	}
+	for name, doc := range map[string]string{
+		"empty list":    `{"outages": []}`,
+		"unknown field": `{"outages": [{"node": 0, "down_seconds": 1, "up_seconds": 2}], "extra": 1}`,
+		"wrong type":    `{"outages": [{"node": "zero", "down_seconds": 1, "up_seconds": 2}]}`,
+		"not json":      `outages: none`,
+	} {
+		if _, err := ReadOutages(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: ReadOutages accepted %q", name, doc)
+		}
+	}
+}

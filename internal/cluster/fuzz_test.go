@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTrace throws arbitrary bytes at the trace parser. The
+// contract under fuzzing: ReadTrace returns an error for malformed
+// input — it never panics — and any trace it does accept survives a
+// Write/Read round trip whose second serialization is byte-identical
+// to the first (the parser normalizes: sorted arrivals, positional
+// IDs, validated workflows).
+func FuzzReadTrace(f *testing.F) {
+	f.Add(`{"jobs": []}`)
+	f.Add(`{"jobs": [{"arrival_seconds": 0, "workflow": null}]}`)
+	f.Add(`{"jobs": [{"arrival_seconds": -1, "workflow": {}}]}`)
+	f.Add(`{"jobs"`)
+	valid, err := SuiteTrace(1, 10)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Fuzz(func(t *testing.T, doc string) {
+		tr, err := ReadTrace(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		var first bytes.Buffer
+		if err := WriteTrace(&first, tr); err != nil {
+			t.Fatalf("accepted trace does not re-serialize: %v", err)
+		}
+		tr2, err := ReadTrace(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("serialized trace does not re-parse: %v", err)
+		}
+		var second bytes.Buffer
+		if err := WriteTrace(&second, tr2); err != nil {
+			t.Fatalf("re-parsed trace does not re-serialize: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Error("trace round trip is not byte-idempotent")
+		}
+	})
+}
+
+// FuzzReadOutages does the same for the outage-schedule parser behind
+// wfsched -fault-schedule.
+func FuzzReadOutages(f *testing.F) {
+	f.Add(`{"outages": [{"node": 0, "down_seconds": 30, "up_seconds": 90}]}`)
+	f.Add(`{"outages": []}`)
+	f.Add(`{"outages": [{"node": -1, "down_seconds": 1e999, "up_seconds": null}]}`)
+	f.Add(`[`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		outages, err := ReadOutages(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		var first bytes.Buffer
+		if err := WriteOutages(&first, outages); err != nil {
+			t.Fatalf("accepted schedule does not re-serialize: %v", err)
+		}
+		out2, err := ReadOutages(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("serialized schedule does not re-parse: %v", err)
+		}
+		var second bytes.Buffer
+		if err := WriteOutages(&second, out2); err != nil {
+			t.Fatalf("re-parsed schedule does not re-serialize: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Error("outage schedule round trip is not byte-idempotent")
+		}
+	})
+}

@@ -61,6 +61,28 @@ func TestGoldenCraftedEASY(t *testing.T) {
 	goldenCompare(t, "crafted_easy.txt", txt.Bytes())
 }
 
+// TestGoldenScriptedFaults pins the full JSON and text reports of the
+// hand-computed failure scenario (see faultTrace): the retry/backoff/
+// checkpoint state machine's output byte for byte, including the fault
+// columns and the goodput/badput summary line.
+func TestGoldenScriptedFaults(t *testing.T) {
+	tr, est := faultTrace()
+	m, err := Simulate(tr, faultOptions(EASY(core.SLocW), est,
+		ScheduledFaults(Outage{Node: 0, DownSeconds: 30, UpSeconds: 40}), faultRetry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var js, txt bytes.Buffer
+	if err := m.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "faults_scripted.json", js.Bytes())
+	if err := m.Render(&txt); err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "faults_scripted.txt", txt.Bytes())
+}
+
 // TestGoldenSuitePMEMAware pins the bundled suite trace under the real
 // cost model and the PMEM-aware policy — the wfsched CLI's default
 // workload.

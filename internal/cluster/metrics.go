@@ -29,10 +29,19 @@ type JobRecord struct {
 	BoundedSlowdown   float64 `json:"bounded_slowdown"`
 	// StandaloneSeconds and Stretch report cross-job interference: the
 	// job's dedicated-node runtime and actual-over-standalone dilation
-	// (>= 1). Populated only when the interference model is enabled, so
-	// interference-off reports keep their original byte-exact shape.
+	// (>= 1). Populated only when the interference or fault model is
+	// enabled (Stretch: interference only), so plain reports keep their
+	// original byte-exact shape.
 	StandaloneSeconds float64 `json:"standalone_seconds,omitempty"`
 	Stretch           float64 `json:"stretch,omitempty"`
+	// Fault-model fields, populated only when failures are enabled:
+	// how many times the job started, the standalone-seconds of work
+	// lost to kills (beyond checkpoint credit), and whether the job
+	// exhausted its retry budget. For a failed job, StartSeconds,
+	// EndSeconds and RunSeconds describe its final attempt.
+	Attempts                int     `json:"attempts,omitempty"`
+	WastedStandaloneSeconds float64 `json:"wasted_standalone_seconds,omitempty"`
+	Failed                  bool    `json:"failed,omitempty"`
 }
 
 // Sample is one point of the per-node utilization time series: the
@@ -60,6 +69,17 @@ type Summary struct {
 	Interference bool    `json:"interference,omitempty"`
 	MeanStretch  float64 `json:"mean_stretch,omitempty"`
 	MaxStretch   float64 `json:"max_stretch,omitempty"`
+	// Fault-model aggregates, present only when failures were enabled.
+	// Goodput is the standalone-seconds of demand actually delivered
+	// (completed jobs); badput is the standalone-seconds burned on
+	// attempts that a failure threw away (including banked checkpoints
+	// of jobs that ultimately failed).
+	Faults                   bool    `json:"faults,omitempty"`
+	CompletedJobs            int     `json:"completed_jobs,omitempty"`
+	FailedJobs               int     `json:"failed_jobs,omitempty"`
+	TotalAttempts            int     `json:"total_attempts,omitempty"`
+	GoodputStandaloneSeconds float64 `json:"goodput_standalone_seconds,omitempty"`
+	BadputStandaloneSeconds  float64 `json:"badput_standalone_seconds,omitempty"`
 	// MeanUtilization is busy core-seconds over available core-seconds
 	// (nodes x cores x makespan), cluster-wide and per node.
 	MeanUtilization float64   `json:"mean_utilization"`
@@ -79,11 +99,12 @@ type Metrics struct {
 	cores        int
 	bound        float64
 	interference bool
+	faults       bool
 	busy         []float64 // per-node busy core-seconds, integrated between events
 	summary      Summary
 }
 
-func newMetrics(policy string, nodes, cores int, bound float64, interference bool) *Metrics {
+func newMetrics(policy string, nodes, cores int, bound float64, interference, faults bool) *Metrics {
 	if bound <= 0 {
 		bound = DefaultSlowdownBoundSeconds
 	}
@@ -93,6 +114,7 @@ func newMetrics(policy string, nodes, cores int, bound float64, interference boo
 		cores:        cores,
 		bound:        bound,
 		interference: interference,
+		faults:       faults,
 		busy:         make([]float64, nodes),
 	}
 }
@@ -121,11 +143,22 @@ func (m *Metrics) sample(now float64, nodes []*NodeView) {
 // run time is the reflowed actual (end - start) and the record carries
 // the standalone runtime and the stretch; without it the actual run IS
 // the standalone duration and the interference fields stay zero (and
-// so out of the serialized output).
+// so out of the serialized output). Under the fault model the run time
+// is the final attempt's wall time, and the record carries the attempt
+// count, the wasted work and the failure flag. Every exported value
+// stays finite even for jobs that never complete — a failed job's
+// start/end describe its truncated final attempt, and the bounded-
+// slowdown floor is never zero — so the JSON/CSV exports stay valid.
 func (m *Metrics) record(st *jobState) {
 	wait := st.start - st.job.ArrivalSeconds
 	turnaround := st.end - st.job.ArrivalSeconds
 	run := st.duration
+	if m.faults {
+		// The final attempt's wall time: under checkpoint-restart a
+		// completed job's last attempt covers duration - credit
+		// standalone-seconds; a failed job's was cut short by the kill.
+		run = st.end - st.start
+	}
 	rec := JobRecord{
 		ID:             st.job.ID,
 		Workflow:       st.job.Workflow.Name,
@@ -138,10 +171,24 @@ func (m *Metrics) record(st *jobState) {
 	}
 	if m.interference {
 		run = st.end - st.start
-		rec.StandaloneSeconds = st.duration
-		if st.duration > 0 {
-			rec.Stretch = run / st.duration
+		// Dilation is measured over the work the final attempt actually
+		// carried (duration minus checkpoint credit; the credit is
+		// whatever was banked when that attempt started). Failed jobs
+		// carry no stretch — the attempt never finished its work.
+		if base := st.duration - st.credit; !st.failed && base > 0 {
+			rec.Stretch = run / base
 		}
+	}
+	if m.interference || m.faults {
+		rec.StandaloneSeconds = st.duration
+	}
+	if m.faults {
+		rec.Attempts = st.attempts
+		rec.WastedStandaloneSeconds = st.wasted
+		rec.Failed = st.failed
+	}
+	if run < 0 {
+		run = 0
 	}
 	floor := run
 	if floor < m.bound {
@@ -166,6 +213,7 @@ func (m *Metrics) finish() {
 		CoresPerSocket:  m.cores,
 		Jobs:            len(m.Records),
 		Interference:    m.interference,
+		Faults:          m.faults,
 		NodeUtilization: make([]float64, m.nodes),
 	}
 	for _, r := range m.Records {
@@ -185,6 +233,16 @@ func (m *Metrics) finish() {
 			s.MeanStretch += r.Stretch
 			if r.Stretch > s.MaxStretch {
 				s.MaxStretch = r.Stretch
+			}
+		}
+		if m.faults {
+			s.TotalAttempts += r.Attempts
+			s.BadputStandaloneSeconds += r.WastedStandaloneSeconds
+			if r.Failed {
+				s.FailedJobs++
+			} else {
+				s.CompletedJobs++
+				s.GoodputStandaloneSeconds += r.StandaloneSeconds
 			}
 		}
 	}
@@ -260,6 +318,13 @@ func (m *Metrics) Render(w io.Writer) error {
 			return err
 		}
 	}
+	if s.Faults {
+		if _, err := fmt.Fprintf(w, "faults on | completed %d failed %d attempts %d | goodput %.2fs badput %.2fs\n",
+			s.CompletedJobs, s.FailedJobs, s.TotalAttempts,
+			s.GoodputStandaloneSeconds, s.BadputStandaloneSeconds); err != nil {
+			return err
+		}
+	}
 	for i, u := range s.NodeUtilization {
 		if _, err := fmt.Fprintf(w, "  node %d utilization %.1f%%\n", i, 100*u); err != nil {
 			return err
@@ -273,6 +338,9 @@ func (m *Metrics) jobTable() *trace.Table {
 	if m.interference {
 		cols = append(cols, "stretch")
 	}
+	if m.faults {
+		cols = append(cols, "attempts", "wasted", "state")
+	}
 	t := &trace.Table{Title: "per-job metrics", Columns: cols}
 	for _, r := range m.Records {
 		row := []any{r.ID, r.Workflow, r.Ranks, r.Node, r.Config,
@@ -281,6 +349,13 @@ func (m *Metrics) jobTable() *trace.Table {
 			fmt.Sprintf("%.3f", r.BoundedSlowdown)}
 		if m.interference {
 			row = append(row, fmt.Sprintf("%.3f", r.Stretch))
+		}
+		if m.faults {
+			state := "done"
+			if r.Failed {
+				state = "FAILED"
+			}
+			row = append(row, r.Attempts, fmt.Sprintf("%.2f", r.WastedStandaloneSeconds), state)
 		}
 		t.AddRow(row...)
 	}

@@ -129,23 +129,49 @@ func (p *listPolicy) profile(ctx *SchedContext, j Job, cfg core.Config) (JobProf
 }
 
 // pick chooses a node for the job: lowest-ID first fit normally, and
-// for interference-aware variants the fitting node whose projected
+// for the aware variants the fitting node whose projected
 // device-socket overload is smallest (ties to the lower ID), so two
 // bandwidth-bound jobs are not co-placed while an uncontended node
-// exists. Returns -1 when no node fits.
-func (p *listPolicy) pick(ctx *SchedContext, ranks int, prof JobProfile) int {
-	if !p.aware || !ctx.Model.Enabled {
+// exists. The aware variants are also failure-aware: a retried job is
+// steered away from the node whose failure killed it (a down node has
+// no capacity at all; this soft constraint extends the avoidance
+// through the repair, when the job may still be waiting out its
+// backoff) unless no other node fits. Returns -1 when no node fits.
+func (p *listPolicy) pick(ctx *SchedContext, j Job, prof JobProfile) int {
+	ranks := j.Workflow.Ranks
+	if !p.aware {
 		return ctx.Fits(ranks)
 	}
-	best, bestScore := -1, inf()
-	for _, n := range ctx.Nodes {
-		if n.FreeAt(ctx.Now) < ranks {
-			continue
+	if !ctx.Model.Enabled {
+		// No interference model: still avoid the failed node, preferring
+		// the lowest-ID alternative, with first fit as the fallback.
+		if away := ctx.AvoidNode(j.ID); away >= 0 {
+			for _, n := range ctx.Nodes {
+				if n.ID != away && n.FreeAt(ctx.Now) >= ranks {
+					return n.ID
+				}
+			}
 		}
-		if score := n.OverloadAfter(ctx.Model, prof); score < bestScore {
-			best, bestScore = n.ID, score
+		return ctx.Fits(ranks)
+	}
+	pickBy := func(skip int) (int, float64) {
+		best, bestScore := -1, inf()
+		for _, n := range ctx.Nodes {
+			if n.ID == skip || n.FreeAt(ctx.Now) < ranks {
+				continue
+			}
+			if score := n.OverloadAfter(ctx.Model, prof); score < bestScore {
+				best, bestScore = n.ID, score
+			}
+		}
+		return best, bestScore
+	}
+	if away := ctx.AvoidNode(j.ID); away >= 0 {
+		if best, _ := pickBy(away); best >= 0 {
+			return best
 		}
 	}
+	best, _ := pickBy(-1)
 	return best
 }
 
@@ -162,7 +188,7 @@ func (p *listPolicy) Schedule(ctx *SchedContext) ([]Placement, error) {
 		if err != nil {
 			return nil, err
 		}
-		if node := p.pick(ctx, head.Workflow.Ranks, prof); node >= 0 {
+		if node := p.pick(ctx, head, prof); node >= 0 {
 			dur, err := ctx.Est.Estimate(head.Workflow, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("cluster: %s: estimating job %d (%s): %w", p.name, head.ID, head.Workflow.Name, err)
@@ -206,7 +232,7 @@ func (p *listPolicy) backfillBehind(ctx *SchedContext, head Job, rest []Job) ([]
 		if err != nil {
 			return nil, err
 		}
-		node := p.pick(ctx, j.Workflow.Ranks, prof)
+		node := p.pick(ctx, j, prof)
 		if node < 0 {
 			continue
 		}

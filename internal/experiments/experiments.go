@@ -175,6 +175,7 @@ func All() []Experiment {
 		{"placement", "Deployment-space search on four sockets (extension)", PlacementSpace},
 		{"online", "Online cluster scheduling: PMEM-aware vs fixed configurations (extension)", OnlineSched},
 		{"interference", "Cross-job PMEM interference: oblivious vs interference-aware placement (extension)", InterferenceSched},
+		{"faults", "Node failures: retry, backoff and checkpoint-restart on an unreliable cluster (extension)", FaultSched},
 	}
 }
 

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+
+	"pmemsched/internal/cluster"
+	"pmemsched/internal/core"
+	"pmemsched/internal/trace"
+)
+
+// FaultSeed fixes the arrival trace and the failure sequence the
+// experiment replays; equal seeds produce byte-identical reports.
+const FaultSeed = 13
+
+// FaultNodes is the cluster size. Two nodes keep the experiment in the
+// online experiment's regime while giving a retried job somewhere else
+// to go after its node fails.
+const FaultNodes = 2
+
+// FaultJobs is the synthetic trace length.
+const FaultJobs = 24
+
+// FaultInterarrival is the synthetic mean inter-arrival time in
+// seconds: busy enough that failures usually hit running jobs.
+const FaultInterarrival = 20
+
+// FaultMTTR is the mean repair time in seconds at every failure rate.
+const FaultMTTR = 60.0
+
+// FaultCheckpointSeconds is the checkpoint-restart interval the
+// checkpointing arm uses: fine-grained against the mix's runtimes (tens
+// of seconds), so most progress survives a kill.
+const FaultCheckpointSeconds = 10
+
+// FaultRates are the failure regimes (mean time between failures per
+// node, seconds). The trace spans several hundred virtual seconds, so
+// "calm" loses a node about once, "flaky" several times, and "hostile"
+// keeps both nodes cycling.
+var FaultRates = []struct {
+	Name        string
+	MTBFSeconds float64
+}{
+	{"calm", 2400},
+	{"flaky", 600},
+	{"hostile", 150},
+}
+
+// faultContenders are the policies compared under failures: EASY under
+// one fixed configuration against the per-job PMEM-aware scheduler —
+// the online experiment's contenders, now on an unreliable cluster.
+func faultContenders(fixed core.Config) []cluster.Policy {
+	return []cluster.Policy{cluster.EASY(fixed), cluster.PMEMAware()}
+}
+
+// FaultSched is the failure/recovery experiment (extension): the paper
+// evaluates the scheduler on reliable hardware; this experiment asks
+// what node failures cost and what retry with checkpoint-restart buys
+// back. The online trace arrives at a 2-node cluster whose nodes fail
+// at three seeded MTBF rates; killed jobs are retried under the default
+// bounded-backoff policy. Each rate compares the policies without and
+// with checkpoint-restart, measuring goodput (standalone-seconds of
+// completed work) against badput (work lost to kills).
+func FaultSched(rt *core.Runner) (*Report, error) {
+	rep := &Report{ID: "faults", Title: "Node failures: retry, backoff and checkpoint-restart on an unreliable cluster"}
+	est := cluster.NewEstimator(rt)
+	fixed := core.SLocW
+
+	tr, err := cluster.Synthetic(InterferenceMix(), cluster.SyntheticConfig{
+		Jobs:                    FaultJobs,
+		MeanInterarrivalSeconds: FaultInterarrival,
+		Seed:                    FaultSeed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	retry := cluster.DefaultRetry()
+	ckpt := retry
+	ckpt.CheckpointIntervalSeconds = FaultCheckpointSeconds
+
+	// Badput summed across both policies per (rate, checkpointing) arm,
+	// for the cross-rate and checkpointing claims below.
+	badput := map[string]float64{}
+	ckptBadput := map[string]float64{}
+	identical := true
+	identicalDetail := ""
+	for _, rate := range FaultRates {
+		faults := cluster.RandomFaults(rate.MTBFSeconds, FaultMTTR, FaultSeed)
+		t := &trace.Table{
+			Title: fmt.Sprintf("failure rate %s (MTBF %.0fs, MTTR %.0fs, %d nodes)",
+				rate.Name, rate.MTBFSeconds, FaultMTTR, FaultNodes),
+			Columns: []string{"policy", "checkpoint", "completed", "failed", "attempts", "goodput (s)", "badput (s)", "mean bsld", "makespan (s)"},
+		}
+		for _, pol := range faultContenders(fixed) {
+			for _, arm := range []struct {
+				label string
+				retry cluster.RetryPolicy
+				acc   map[string]float64
+			}{
+				{"off", retry, badput},
+				{fmt.Sprintf("%ds", int(FaultCheckpointSeconds)), ckpt, ckptBadput},
+			} {
+				opt := cluster.Options{
+					Nodes:     FaultNodes,
+					Policy:    pol,
+					Estimator: est,
+					Faults:    faults,
+					Retry:     arm.retry,
+				}
+				m, err := cluster.Simulate(tr, opt)
+				if err != nil {
+					return nil, err
+				}
+				// Same seed, fresh run: the report must come back
+				// byte-identical (the determinism contract wfsched's smoke
+				// test pins from the CLI side).
+				if identical {
+					m2, err := cluster.Simulate(tr, opt)
+					if err != nil {
+						return nil, err
+					}
+					var b1, b2 bytes.Buffer
+					if err := m.WriteJSON(&b1); err != nil {
+						return nil, err
+					}
+					if err := m2.WriteJSON(&b2); err != nil {
+						return nil, err
+					}
+					if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+						identical = false
+						identicalDetail = fmt.Sprintf("rate %s, %s, checkpoint %s: reports differ", rate.Name, pol.Name(), arm.label)
+					}
+				}
+				s := m.Summary()
+				arm.acc[rate.Name] += s.BadputStandaloneSeconds
+				t.AddRow(s.Policy, arm.label,
+					fmt.Sprintf("%d", s.CompletedJobs), fmt.Sprintf("%d", s.FailedJobs), fmt.Sprintf("%d", s.TotalAttempts),
+					fmt.Sprintf("%.2f", s.GoodputStandaloneSeconds), fmt.Sprintf("%.2f", s.BadputStandaloneSeconds),
+					fmt.Sprintf("%.3f", s.MeanBoundedSlowdown), fmt.Sprintf("%.2f", s.MakespanSeconds))
+			}
+		}
+		rep.Table(t)
+	}
+
+	if identicalDetail == "" {
+		identicalDetail = "every (rate, policy, checkpoint) report byte-identical across two fresh runs"
+	}
+	rep.Check(
+		"same seed reruns are byte-identical",
+		"the reproduction's determinism contract: equal seeds, equal bytes",
+		identicalDetail,
+		identical,
+	)
+
+	calm, hostile := FaultRates[0], FaultRates[len(FaultRates)-1]
+	rep.Check(
+		fmt.Sprintf("badput grows from %s to %s failures", calm.Name, hostile.Name),
+		"more kills waste more work: badput should track the failure rate",
+		fmt.Sprintf("badput %.2fs at MTBF %.0fs vs %.2fs at MTBF %.0fs (summed over policies, checkpointing off)",
+			badput[calm.Name], calm.MTBFSeconds, badput[hostile.Name], hostile.MTBFSeconds),
+		badput[hostile.Name] > badput[calm.Name],
+	)
+	rep.Check(
+		fmt.Sprintf("checkpoint-restart cuts badput under %s failures", hostile.Name),
+		"restarting from the last checkpoint instead of from scratch salvages most killed work",
+		fmt.Sprintf("badput %.2fs without checkpointing vs %.2fs with %.0fs checkpoints (summed over policies)",
+			badput[hostile.Name], ckptBadput[hostile.Name], float64(FaultCheckpointSeconds)),
+		ckptBadput[hostile.Name] < badput[hostile.Name],
+	)
+	return rep, nil
+}

@@ -1,0 +1,47 @@
+package workflow
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec throws arbitrary bytes at the workflow-spec parser (the
+// schema behind wfrun -spec and every trace's workflow entries). The
+// contract: ReadSpec returns an error for malformed input — it never
+// panics — and any spec it accepts validates and survives a Write/Read
+// round trip whose second serialization is byte-identical to the first.
+func FuzzParseSpec(f *testing.F) {
+	f.Add(`{}`)
+	f.Add(`{"name": "x", "ranks": -1}`)
+	f.Add(`{"name": "x", "ranks": 1e99, "iterations": 1}`)
+	f.Add(`{"name"`)
+	f.Add(`{"name": "climate+tracker", "ranks": 16, "iterations": 10,
+	  "simulation": {"name": "climate", "compute_per_iteration": 0.8,
+	    "objects": [{"bytes": 100663296, "count_per_rank": 2}, {"bytes": 8192, "count_per_rank": 500}]},
+	  "analytics": {"name": "tracker", "compute_per_object": 0.0003}}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		wf, err := ReadSpec(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		if err := wf.Validate(); err != nil {
+			t.Fatalf("ReadSpec accepted a spec its own Validate rejects: %v", err)
+		}
+		var first bytes.Buffer
+		if err := WriteSpec(&first, wf); err != nil {
+			t.Fatalf("accepted spec does not re-serialize: %v", err)
+		}
+		wf2, err := ReadSpec(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("serialized spec does not re-parse: %v", err)
+		}
+		var second bytes.Buffer
+		if err := WriteSpec(&second, wf2); err != nil {
+			t.Fatalf("re-parsed spec does not re-serialize: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Error("spec round trip is not byte-idempotent")
+		}
+	})
+}
