@@ -51,6 +51,11 @@ func main() {
 	retries := flag.Int("retries", 0, "max attempts per job under faults; 0 = the default policy (4)")
 	backoff := flag.Float64("backoff", -1, "base requeue backoff in seconds, doubling per kill; negative = default (10)")
 	checkpoint := flag.Float64("checkpoint", 0, "checkpoint-restart interval in standalone-seconds; 0 = restart from scratch")
+	stream := flag.Bool("stream", false, "stream the trace through the engine (constant memory; -trace files must already be sorted by arrival)")
+	summaryOnly := flag.Bool("summary-only", false, "aggregate on the fly and emit only the summary (constant memory; fleet-scale runs)")
+	dedupSamples := flag.Bool("dedup-samples", false, "drop consecutive identical utilization samples from the series")
+	incrementalReflow := flag.Bool("incremental-reflow", false, "socket-local incremental interference reflow (bounded per-event work; last-ulp fp drift vs the exact reflow)")
+	linearScan := flag.Bool("linear-scan", false, "disable the free-capacity index; restore the pre-fleet all-nodes scans (A/B benchmarking)")
 	flag.Parse()
 
 	env, err := envFor(*stackName)
@@ -66,28 +71,17 @@ func main() {
 		fatal(err)
 	}
 
-	tr, err := selectTrace(*tracePath, *jobs, *interarrival, *seed)
-	if err != nil {
-		fatal(err)
-	}
-	if *dumpTrace != "" {
-		f, err := os.Create(*dumpTrace)
-		if err != nil {
-			fatal(err)
-		}
-		if err := cluster.WriteTrace(f, tr); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-	}
-
 	rt := core.NewRunner(env, *parallel)
 	opt := cluster.Options{
-		Nodes:     *nodes,
-		Policy:    policy,
-		Estimator: cluster.NewEstimator(rt),
+		Nodes:      *nodes,
+		Policy:     policy,
+		Estimator:  cluster.NewEstimator(rt),
+		LinearScan: *linearScan,
+		Fleet: cluster.FleetOptions{
+			IncrementalReflow: *incrementalReflow,
+			DedupSamples:      *dedupSamples,
+			SummaryOnly:       *summaryOnly,
+		},
 	}
 	if *interference {
 		opt.Interference = cluster.DefaultInterference()
@@ -95,9 +89,46 @@ func main() {
 	if err := faultOptions(&opt, *faults, *faultSchedule, *mtbf, *mttr, *seed, *retries, *backoff, *checkpoint); err != nil {
 		fatal(err)
 	}
-	metrics, err := cluster.Simulate(tr, opt)
-	if err != nil {
-		fatal(err)
+
+	var metrics *cluster.Metrics
+	if *stream {
+		// Streaming keeps the whole trace out of memory, which is the
+		// point — so there is no materialized trace to dump.
+		if *dumpTrace != "" {
+			fatal(fmt.Errorf("-dump-trace needs a materialized trace; drop -stream"))
+		}
+		src, done, err := selectSource(*tracePath, *jobs, *interarrival, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		metrics, err = cluster.SimulateStream(src, opt)
+		if cerr := done(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		tr, err := selectTrace(*tracePath, *jobs, *interarrival, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if *dumpTrace != "" {
+			f, err := os.Create(*dumpTrace)
+			if err != nil {
+				fatal(err)
+			}
+			if err := cluster.WriteTrace(f, tr); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		metrics, err = cluster.Simulate(tr, opt)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	switch *format {
@@ -138,6 +169,39 @@ func selectTrace(tracePath string, jobs int, interarrival float64, seed int64) (
 		})
 	default:
 		return cluster.SuiteTrace(seed, interarrival)
+	}
+}
+
+// selectSource is selectTrace for -stream: the same flag semantics,
+// but the trace flows through the engine one arrival at a time — a
+// trace file is decoded incrementally (it must already be sorted by
+// arrival, which WriteTrace/-dump-trace files are) and a synthetic
+// trace is drawn job by job. The returned func releases the source's
+// file handle, if any.
+func selectSource(tracePath string, jobs int, interarrival float64, seed int64) (cluster.TraceSource, func() error, error) {
+	noop := func() error { return nil }
+	switch {
+	case tracePath != "":
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return nil, noop, err
+		}
+		return cluster.StreamTrace(f), f.Close, nil
+	case jobs < 0:
+		return nil, noop, fmt.Errorf("-jobs must be non-negative (got %d); 0 selects the bundled suite trace", jobs)
+	case jobs > 0:
+		src, err := cluster.SyntheticSource(workloads.Suite(), cluster.SyntheticConfig{
+			Jobs:                    jobs,
+			MeanInterarrivalSeconds: interarrival,
+			Seed:                    seed,
+		})
+		return src, noop, err
+	default:
+		tr, err := cluster.SuiteTrace(seed, interarrival)
+		if err != nil {
+			return nil, noop, err
+		}
+		return tr.Source(), noop, nil
 	}
 }
 

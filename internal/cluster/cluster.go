@@ -159,18 +159,40 @@ func (n *NodeView) place(jobID, ranks int, end float64, prof JobProfile) {
 	n.Running = append(n.Running, RunningJob{JobID: jobID, Ranks: ranks, EndSeconds: end, Profile: prof})
 }
 
-// remove drops a resident job (completion).
-func (n *NodeView) remove(jobID int) {
+// remove drops a resident job (completion) and reports whether it was
+// found. A missing resident means the engine's accounting is broken —
+// a double completion, or a completion racing a kill that should have
+// staled it — so the engine treats false as a hard error instead of
+// silently continuing (it used to no-op, which let such bugs pass
+// unnoticed).
+func (n *NodeView) remove(jobID int) bool {
 	for i, r := range n.Running {
 		if r.JobID == jobID {
 			n.Running = append(n.Running[:i], n.Running[i+1:]...)
-			return
+			return true
 		}
 	}
+	return false
+}
+
+// noFitSeconds is the sentinel EarliestFit returns when the requested
+// capacity can never be free: far beyond any schedulable time, yet
+// still JSON-encodable. It is a guarded sentinel — callers must check
+// isNoFit before doing arithmetic on an EarliestFit result or
+// serializing it, because sums or products of values this large
+// overflow to +Inf, which json.Encoder rejects outright (the engine's
+// retry path hit exactly that: a backoff offset added to a huge
+// requeue time produced a +Inf arrival and broke the report export).
+const noFitSeconds = 1e308
+
+// isNoFit reports whether t is the no-fit sentinel (or anything
+// beyond it, such as an overflow to +Inf).
+func isNoFit(t float64) bool {
+	return t >= noFitSeconds
 }
 
 func inf() float64 {
-	return 1e308 // effectively +inf while staying JSON-encodable
+	return noFitSeconds
 }
 
 // Placement is one scheduling decision: start the job on the node under
@@ -199,7 +221,45 @@ type SchedContext struct {
 	// additionally use this to steer a retried job away from its failed
 	// node when it is freshly repaired and other nodes fit.
 	avoid []int
+
+	// idx is the engine's bucketed free-capacity view (nil under
+	// Options.LinearScan and in hand-built test contexts, where queries
+	// fall back to scanning Nodes). Tentative placements update it
+	// through a journal the engine rolls back after the pass.
+	idx *freeIndex
+	// owned implements copy-on-write: when non-nil, Nodes aliases the
+	// engine's authoritative views and the first mutation of a node
+	// clones it into the slice (owned[i] marks clones). Policies must
+	// mutate nodes only through Place. When nil, Nodes is a private deep
+	// copy and is mutated directly (the legacy path).
+	owned []bool
+	// ephemeral counts zero-duration placements made this pass. The
+	// index tracks structural occupancy (residents hold cores until
+	// their end time), but a zero-duration resident ends at Now and so
+	// holds nothing under FreeAt(Now) — the index cannot represent it,
+	// so once one exists the pass's remaining queries fall back to the
+	// linear scan, which reads the authoritative semantics.
+	ephemeral int
 }
+
+// node returns a mutable view of the node, cloning it first under
+// copy-on-write so the engine's authoritative state stays untouched.
+func (c *SchedContext) node(id int) *NodeView {
+	if c.owned == nil || c.owned[id] {
+		return c.Nodes[id]
+	}
+	n := c.Nodes[id]
+	cl := &NodeView{ID: n.ID, Cores: n.Cores, Running: append([]RunningJob(nil), n.Running...),
+		Down: n.Down, UpSeconds: n.UpSeconds}
+	c.Nodes[id] = cl
+	c.owned[id] = true
+	return cl
+}
+
+// indexed reports whether the free-capacity index can answer queries
+// for this pass (it cannot once a zero-duration placement exists; see
+// ephemeral).
+func (c *SchedContext) indexed() bool { return c.idx != nil && c.ephemeral == 0 }
 
 // AvoidNode returns the node whose failure killed the job's latest
 // attempt (until the job starts again), or -1. The failure-aware
@@ -213,19 +273,67 @@ func (c *SchedContext) AvoidNode(jobID int) int {
 }
 
 // Fits returns the lowest-ID node with enough free cores for ranks at
-// the current time, or -1.
+// the current time, or -1. With the index available this is a bitset
+// probe instead of an all-nodes scan; the answers are identical
+// because a down node indexes as zero free cores and every resident's
+// end time is after Now (zero-duration residents force the fallback;
+// see ephemeral).
 func (c *SchedContext) Fits(ranks int) int {
+	if c.indexed() {
+		return c.idx.firstFit(ranks)
+	}
+	return c.fitsLinear(ranks, -1)
+}
+
+// fitsExcept is Fits skipping one node ID (the failure-aware policies'
+// soft avoid constraint); skip < 0 skips nothing.
+func (c *SchedContext) fitsExcept(ranks, skip int) int {
+	if c.indexed() {
+		return c.idx.firstFitExcept(ranks, skip)
+	}
+	return c.fitsLinear(ranks, skip)
+}
+
+func (c *SchedContext) fitsLinear(ranks, skip int) int {
 	for _, n := range c.Nodes {
-		if n.FreeAt(c.Now) >= ranks {
+		if n.ID != skip && n.FreeAt(c.Now) >= ranks {
 			return n.ID
 		}
 	}
 	return -1
 }
 
+// eachFit calls yield for every node with room for ranks at the
+// current time in ascending ID order, skipping node ID skip (skip < 0
+// skips nothing); yield returning false stops the walk.
+func (c *SchedContext) eachFit(ranks, skip int, yield func(n *NodeView) bool) {
+	if c.indexed() {
+		c.idx.eachFit(ranks, skip, func(id int) bool {
+			return yield(c.Nodes[id])
+		})
+		return
+	}
+	for _, n := range c.Nodes {
+		if n.ID == skip || n.FreeAt(c.Now) < ranks {
+			continue
+		}
+		if !yield(n) {
+			return
+		}
+	}
+}
+
 // EarliestFit returns the earliest (time, node) at which ranks cores
-// become free on some node, ties resolved to the lower node ID.
+// become free on some node, ties resolved to the lower node ID. When
+// something fits right now the index answers directly; the full scan
+// over resident end times runs only for a saturated cluster, where it
+// is unavoidable.
 func (c *SchedContext) EarliestFit(ranks int) (float64, int) {
+	if c.indexed() {
+		if id := c.idx.firstFit(ranks); id >= 0 {
+			return c.Now, id
+		}
+	}
 	best, bestNode := inf(), -1
 	for _, n := range c.Nodes {
 		if t := n.EarliestFit(c.Now, ranks); t < best {
@@ -241,7 +349,17 @@ func (c *SchedContext) EarliestFit(ranks int) (float64, int) {
 // snapshot's demand accounting correct across multiple placements in
 // one pass.
 func (c *SchedContext) Place(job Job, node int, cfg core.Config, duration float64, prof JobProfile) Placement {
-	c.Nodes[node].place(job.ID, job.Workflow.Ranks, c.Now+duration, prof)
+	c.node(node).place(job.ID, job.Workflow.Ranks, c.Now+duration, prof)
+	if c.idx != nil {
+		if duration > 0 {
+			c.idx.place(node, job.Workflow.Ranks)
+		} else {
+			// A zero-duration resident holds no cores at Now, which the
+			// structural index cannot express: answer the rest of the pass
+			// from the snapshot instead.
+			c.ephemeral++
+		}
+	}
 	return Placement{JobID: job.ID, Node: node, Config: cfg}
 }
 
@@ -273,6 +391,41 @@ type Options struct {
 	// exponential backoff, bounded attempts, optional
 	// checkpoint-restart. The zero value selects DefaultRetry().
 	Retry RetryPolicy
+	// LinearScan disables the free-capacity index and the copy-on-write
+	// snapshots, restoring the pre-fleet engine's all-nodes scans and
+	// per-pass deep copies. The indexed engine is exact (byte-identical
+	// output), so this exists purely for A/B benchmarking and for
+	// cross-checking the index in tests.
+	LinearScan bool
+	// Fleet holds the opt-in fleet-scale trade-offs. The zero value
+	// changes nothing; see FleetOptions.
+	Fleet FleetOptions
+}
+
+// FleetOptions are the engine trade-offs for fleet-scale traces (1k
+// nodes, 1M jobs). Unlike the free-capacity index — always on, exactly
+// equivalent — each of these changes observable output in a bounded,
+// documented way, so each defaults off and golden-pinned small-trace
+// runs stay byte-identical.
+type FleetOptions struct {
+	// IncrementalReflow recomputes interference rates only for jobs on
+	// node sockets whose demand actually changed, instead of every
+	// resident in the cluster, and integrates each job's progress lazily
+	// (at its own rate changes) instead of at every cluster event. The
+	// trajectories are mathematically identical but the floating-point
+	// sums associate differently, so results can drift in the last ulp
+	// relative to the full reflow. No effect when interference is off.
+	IncrementalReflow bool
+	// DedupSamples drops a utilization sample when no node's occupancy
+	// changed since the previous sample, bounding Metrics.Series by the
+	// number of occupancy changes instead of the number of event times.
+	DedupSamples bool
+	// SummaryOnly folds each job into the summary aggregates the moment
+	// it finishes and keeps no per-job records and no utilization
+	// series — constant memory regardless of trace length. Jobs
+	// aggregate in completion order rather than trace order, so summary
+	// sums may differ from the recorded mode in the last ulp.
+	SummaryOnly bool
 }
 
 func (o Options) validate() error {

@@ -3,6 +3,8 @@ package cluster
 import (
 	"container/heap"
 	"fmt"
+	"math"
+	"sort"
 
 	"pmemsched/internal/numa"
 )
@@ -33,6 +35,18 @@ import (
 // intervals of standalone-seconds across attempts. With the model
 // disabled no node event is ever posted and no code path below
 // diverges from the fault-free engine.
+//
+// Fleet scale: the engine consumes its trace through a jobSource (one
+// staged arrival at a time, so a million-job trace never needs a
+// million-element slice), answers placement queries through the
+// bucketed freeIndex instead of scanning every node, and hands
+// policies a copy-on-write snapshot instead of deep-copying every
+// NodeView per pass. All three are exact — the index returns the node
+// the linear scan would have, the COW view reads identically, and the
+// metrics integrate the same occupancy values — so default output is
+// byte-identical to the pre-index engine (Options.LinearScan restores
+// the old scans for A/B benchmarking). The opt-in FleetOptions trade
+// byte-compatibility for bounded per-event work; see Options.Fleet.
 
 type eventKind uint8
 
@@ -102,6 +116,21 @@ type jobState struct {
 	failed   bool    // retry budget exhausted; the job will never complete
 }
 
+// jobSource is the engine-facing arrival stream: jobs in trace order,
+// already validated (IDs equal positions, sorted arrivals, ranks that
+// fit a socket).
+type jobSource interface {
+	next() (Job, bool, error)
+}
+
+// coresPerSocket resolves the effective per-socket core capacity.
+func (o Options) coresPerSocket() int {
+	if o.CoresPerSocket != 0 {
+		return o.CoresPerSocket
+	}
+	return numa.TestbedConfig().CoresPerSocket
+}
+
 // Simulate runs the trace through the cluster under the policy and
 // returns the collected metrics. The loop is event-driven: the virtual
 // clock jumps between arrivals and completions, and the policy is
@@ -113,44 +142,173 @@ func Simulate(tr Trace, opt Options) (*Metrics, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
-	cores := opt.CoresPerSocket
-	if cores == 0 {
-		cores = numa.TestbedConfig().CoresPerSocket
-	}
+	cores := opt.coresPerSocket()
 	for _, j := range tr.Jobs {
 		if j.Workflow.Ranks > cores {
 			return nil, fmt.Errorf("cluster: job %d (%s) needs %d ranks but nodes have %d cores per socket",
 				j.ID, j.Workflow.Name, j.Workflow.Ranks, cores)
 		}
 	}
+	return simulate(&sliceSource{jobs: tr.Jobs}, opt, cores)
+}
 
+// SimulateStream is Simulate over a streaming trace: the engine pulls
+// jobs from the source one arrival at a time, so the whole trace never
+// needs to be resident. Jobs are validated as they stream in (IDs must
+// equal stream positions, arrivals must be sorted, ranks must fit a
+// socket). With identical jobs and options the report is byte-identical
+// to Simulate over the materialized trace.
+func SimulateStream(src TraceSource, opt Options) (*Metrics, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	cores := opt.coresPerSocket()
+	return simulate(&checkedSource{src: src, cores: cores}, opt, cores)
+}
+
+// sliceSource streams an already-validated in-memory trace.
+type sliceSource struct {
+	jobs []Job
+	i    int
+}
+
+func (s *sliceSource) next() (Job, bool, error) {
+	if s.i >= len(s.jobs) {
+		return Job{}, false, nil
+	}
+	j := s.jobs[s.i]
+	s.i++
+	return j, true, nil
+}
+
+// checkedSource validates a user-supplied TraceSource as it streams:
+// the incremental equivalent of Trace.Validate plus the per-socket
+// ranks check Simulate performs up front.
+type checkedSource struct {
+	src   TraceSource
+	cores int
+	id    int
+	prev  float64
+}
+
+func (c *checkedSource) next() (Job, bool, error) {
+	j, ok, err := c.src.Next()
+	if err != nil {
+		return Job{}, false, fmt.Errorf("cluster: streaming trace job %d: %w", c.id, err)
+	}
+	if !ok {
+		return Job{}, false, nil
+	}
+	if j.ID != c.id {
+		return Job{}, false, fmt.Errorf("cluster: streaming trace job at position %d has ID %d (IDs must equal stream positions)", c.id, j.ID)
+	}
+	if err := j.Workflow.Validate(); err != nil {
+		return Job{}, false, fmt.Errorf("cluster: streaming trace job %d: %w", c.id, err)
+	}
+	if j.ArrivalSeconds < 0 {
+		return Job{}, false, fmt.Errorf("cluster: streaming trace job %d: negative arrival %g", c.id, j.ArrivalSeconds)
+	}
+	if j.ArrivalSeconds < c.prev {
+		return Job{}, false, fmt.Errorf("cluster: streaming trace job %d: arrival %g before job %d's %g (stream must be sorted)",
+			c.id, j.ArrivalSeconds, c.id-1, c.prev)
+	}
+	if j.Workflow.Ranks > c.cores {
+		return Job{}, false, fmt.Errorf("cluster: job %d (%s) needs %d ranks but nodes have %d cores per socket",
+			j.ID, j.Workflow.Name, j.Workflow.Ranks, c.cores)
+	}
+	c.prev = j.ArrivalSeconds
+	c.id++
+	return j, true, nil
+}
+
+// dirtyNodes tracks, between reflow passes, which nodes saw a
+// residency change and on which device socket — the socket-local
+// incremental reflow re-rates only the residents streaming through a
+// changed socket.
+type dirtyNodes struct {
+	mask []uint8 // per node: bit s set = socket s's demand changed
+	list []int   // nodes with a nonzero mask, in mark order
+}
+
+func (d *dirtyNodes) mark(node, socket int) {
+	if d.mask[node] == 0 {
+		d.list = append(d.list, node)
+	}
+	d.mask[node] |= 1 << uint(socket&1)
+}
+
+// simulate is the shared event loop behind Simulate and SimulateStream.
+func simulate(src jobSource, opt Options, cores int) (*Metrics, error) {
 	iv := opt.Interference
 	retry := opt.retry()
+	fleet := opt.Fleet
 	nodes := make([]*NodeView, opt.Nodes)
 	for i := range nodes {
 		nodes[i] = &NodeView{ID: i, Cores: cores}
 	}
-	states := make([]*jobState, len(tr.Jobs))
-	var events eventHeap
-	for i, j := range tr.Jobs {
-		states[i] = &jobState{job: j, node: -1}
-		events.add(event{at: j.ArrivalSeconds, kind: evArrive, job: j.ID})
+	var idx *freeIndex
+	if !opt.LinearScan {
+		idx = newFreeIndex(opt.Nodes, cores)
 	}
-	var faults *faultDriver
+	// occ mirrors each node's metered occupancy (the value
+	// Cores - FreeAt(now) would report, including the convention that a
+	// down node meters as fully busy), maintained incrementally so the
+	// metrics never rescan resident lists.
+	occ := make([]int, opt.Nodes)
+
+	var states []*jobState
+	var events eventHeap
 	var avoid []int
+	srcDone := false
+	pull := func() error {
+		j, ok, err := src.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			srcDone = true
+			return nil
+		}
+		if j.ID != len(states) {
+			return fmt.Errorf("cluster: trace job at position %d has ID %d (IDs must equal trace positions)", len(states), j.ID)
+		}
+		states = append(states, &jobState{job: j, node: -1})
+		if opt.Faults.Enabled {
+			avoid = append(avoid, -1)
+		}
+		events.add(event{at: j.ArrivalSeconds, kind: evArrive, job: j.ID})
+		return nil
+	}
+	if err := pull(); err != nil {
+		return nil, err
+	}
+	if srcDone && len(states) == 0 {
+		return nil, fmt.Errorf("cluster: empty trace")
+	}
+
+	var faults *faultDriver
 	if opt.Faults.Enabled {
 		var err error
 		if faults, err = newFaultDriver(opt.Faults, opt.Nodes); err != nil {
 			return nil, err
 		}
 		faults.start(opt.Nodes, &events)
-		avoid = make([]int, len(states))
-		for i := range avoid {
-			avoid[i] = -1
-		}
 	}
 
-	m := newMetrics(opt.Policy.Name(), opt.Nodes, cores, opt.SlowdownBoundSeconds, iv.Enabled, opt.Faults.Enabled)
+	m := newMetrics(opt.Policy.Name(), opt.Nodes, cores, opt.SlowdownBoundSeconds, iv.Enabled, opt.Faults.Enabled, fleet)
+	incremental := iv.Enabled && fleet.IncrementalReflow
+	var dirty dirtyNodes
+	if incremental {
+		dirty.mask = make([]uint8, opt.Nodes)
+	}
+	// Reusable copy-on-write snapshot scratch for the indexed path.
+	var view []*NodeView
+	var owned []bool
+	if idx != nil {
+		view = make([]*NodeView, opt.Nodes)
+		owned = make([]bool, opt.Nodes)
+	}
+
 	var pending []Job
 	prev := 0.0
 	finished := 0 // completed or permanently failed jobs
@@ -160,7 +318,11 @@ func Simulate(tr Trace, opt Options) (*Metrics, error) {
 			break
 		}
 		now := head.at
-		m.integrate(nodes, prev, now)
+		if opt.LinearScan {
+			m.integrate(nodes, prev, now)
+		} else {
+			m.integrateOcc(occ, prev, now)
+		}
 		prev = now
 		live := false
 		for {
@@ -169,29 +331,64 @@ func Simulate(tr Trace, opt Options) (*Metrics, error) {
 				break
 			}
 			e = events.next()
+			m.Events++
 			switch e.kind {
 			case evArrive:
-				pending = append(pending, states[e.job].job)
+				st := states[e.job]
+				pending = append(pending, st.job)
+				// A fresh arrival (not a fault retry) consumed the staged
+				// job; stage the next one from the source.
+				if !srcDone && e.job == len(states)-1 && st.attempts == 0 {
+					if err := pull(); err != nil {
+						return nil, err
+					}
+				}
 				live = true
 			case evComplete:
 				st := states[e.job]
-				if st.done || e.epoch != st.epoch {
+				if st == nil || st.done || e.epoch != st.epoch {
 					continue // superseded by a reflow re-post or a kill
 				}
 				st.done = true
 				st.end = now
-				nodes[st.node].remove(st.job.ID)
+				if !nodes[st.node].remove(st.job.ID) {
+					return nil, fmt.Errorf("cluster: engine accounting: completion of job %d found no resident on node %d", st.job.ID, st.node)
+				}
+				if st.end > st.start { // zero-remaining placements never occupied cores
+					if idx != nil {
+						idx.remove(st.node, st.job.Workflow.Ranks)
+					}
+					occ[st.node] -= st.job.Workflow.Ranks
+				}
+				if incremental {
+					dirty.mark(st.node, st.profile.DeviceSocket)
+				}
 				finished++
 				live = true
+				if fleet.SummaryOnly {
+					m.record(st)
+					states[e.job] = nil // aggregated; release the state
+				}
 			case evNodeDown:
 				n := nodes[e.job]
 				n.Down = true
 				n.UpSeconds = faults.repairAt(e.job, now)
 				events.add(event{at: n.UpSeconds, kind: evNodeUp, job: e.job})
 				for _, r := range n.Running {
-					finished += kill(states[r.JobID], retry, iv, now, avoid, &events)
+					st := states[r.JobID]
+					if kill(st, retry, iv, now, avoid, &events) {
+						finished++
+						if fleet.SummaryOnly {
+							m.record(st)
+							states[r.JobID] = nil
+						}
+					}
 				}
 				n.Running = n.Running[:0]
+				if idx != nil {
+					idx.down(e.job)
+				}
+				occ[e.job] = n.Cores // a down node meters as fully busy (FreeAt reports 0 free)
 				live = true
 			case evNodeUp:
 				n := nodes[e.job]
@@ -200,6 +397,10 @@ func Simulate(tr Trace, opt Options) (*Metrics, error) {
 				if at, ok := faults.nextDown(e.job, now); ok {
 					events.add(event{at: at, kind: evNodeDown, job: e.job})
 				}
+				if idx != nil {
+					idx.up(e.job)
+				}
+				occ[e.job] = 0
 				live = true
 			}
 		}
@@ -211,16 +412,34 @@ func Simulate(tr Trace, opt Options) (*Metrics, error) {
 		if iv.Enabled {
 			// Completions changed residency: advance progress to now and
 			// re-rate the survivors before the policy reads EndSeconds.
-			reflow(now, nodes, states, &events, iv)
+			if incremental {
+				reflowDirty(now, nodes, states, &events, iv, &dirty)
+			} else {
+				reflow(now, nodes, states, &events, iv)
+			}
 		}
+		m.Passes++
 
-		ctx := &SchedContext{Now: now, Queue: append([]Job(nil), pending...), Nodes: snapshot(nodes), Est: opt.Estimator, Model: iv, avoid: avoid}
+		var ctx *SchedContext
+		if idx != nil {
+			copy(view, nodes)
+			for i := range owned {
+				owned[i] = false
+			}
+			idx.begin()
+			ctx = &SchedContext{Now: now, Queue: append([]Job(nil), pending...), Nodes: view, Est: opt.Estimator, Model: iv, avoid: avoid, idx: idx, owned: owned}
+		} else {
+			ctx = &SchedContext{Now: now, Queue: append([]Job(nil), pending...), Nodes: snapshot(nodes), Est: opt.Estimator, Model: iv, avoid: avoid}
+		}
 		placements, err := opt.Policy.Schedule(ctx)
+		if idx != nil {
+			idx.rollback()
+		}
 		if err != nil {
 			return nil, err
 		}
 		for _, pl := range placements {
-			if pl.JobID < 0 || pl.JobID >= len(states) || states[pl.JobID].started {
+			if pl.JobID < 0 || pl.JobID >= len(states) || states[pl.JobID] == nil || states[pl.JobID].started {
 				return nil, fmt.Errorf("cluster: policy %s placed unknown or already-started job %d", opt.Policy.Name(), pl.JobID)
 			}
 			if pl.Node < 0 || pl.Node >= len(nodes) {
@@ -263,18 +482,35 @@ func Simulate(tr Trace, opt Options) (*Metrics, error) {
 				// rate stays 0: the reflow below rates the newcomer and
 				// posts its first completion event.
 				nodes[pl.Node].place(st.job.ID, st.job.Workflow.Ranks, st.end, prof)
+				if incremental {
+					dirty.mark(pl.Node, prof.DeviceSocket)
+				}
 			} else {
 				nodes[pl.Node].place(st.job.ID, st.job.Workflow.Ranks, st.end, JobProfile{})
 				events.add(event{at: st.end, kind: evComplete, job: st.job.ID, epoch: st.epoch})
+			}
+			if remaining > 0 {
+				if idx != nil {
+					idx.place(pl.Node, st.job.Workflow.Ranks)
+				}
+				occ[pl.Node] += st.job.Workflow.Ranks
 			}
 			pending = removeJob(pending, st.job.ID)
 		}
 		if iv.Enabled && len(placements) > 0 {
 			// Newcomers changed residency: re-rate everyone again.
-			reflow(now, nodes, states, &events, iv)
+			if incremental {
+				reflowDirty(now, nodes, states, &events, iv, &dirty)
+			} else {
+				reflow(now, nodes, states, &events, iv)
+			}
 		}
-		m.sample(now, nodes)
-		if finished == len(states) {
+		if opt.LinearScan {
+			m.sample(now, nodes)
+		} else {
+			m.sampleOcc(now, occ)
+		}
+		if srcDone && finished == len(states) {
 			// Every job has completed or permanently failed. Leaving now
 			// (instead of draining the heap) is what terminates a random
 			// failure schedule, whose node events would otherwise repost
@@ -287,8 +523,10 @@ func Simulate(tr Trace, opt Options) (*Metrics, error) {
 	if len(pending) > 0 {
 		return nil, fmt.Errorf("cluster: policy %s stalled with %d jobs queued and the cluster idle", opt.Policy.Name(), len(pending))
 	}
-	for _, st := range states {
-		m.record(st)
+	if !fleet.SummaryOnly {
+		for _, st := range states {
+			m.record(st)
+		}
 	}
 	m.finish()
 	return m, nil
@@ -312,9 +550,10 @@ func reflow(now float64, nodes []*NodeView, states []*jobState, events *eventHea
 		}
 	}
 	for _, n := range nodes {
+		rates := n.socketRates(iv)
 		for i := range n.Running {
 			st := states[n.Running[i].JobID]
-			rate := n.rateOn(iv, st.profile)
+			rate := rates(st.profile)
 			if rate == st.rate {
 				continue
 			}
@@ -331,13 +570,62 @@ func reflow(now float64, nodes []*NodeView, states []*jobState, events *eventHea
 	}
 }
 
+// reflowDirty is the socket-local incremental reflow (Options.Fleet):
+// only nodes whose residency changed since the last reflow are
+// touched, and on each only the residents streaming through a changed
+// socket — demand on one socket never moves rates on the other, and a
+// node nothing happened on cannot have changed at all. Progress
+// integrates lazily (one multiply per rate change instead of one per
+// cluster event), which is why this mode is opt-in: the telescoped
+// sums agree with the full reflow only up to floating-point
+// association, so byte-level goldens pin the full path.
+func reflowDirty(now float64, nodes []*NodeView, states []*jobState, events *eventHeap, iv Interference, d *dirtyNodes) {
+	sort.Ints(d.list) // deterministic node order regardless of mark order
+	for _, id := range d.list {
+		n := nodes[id]
+		mask := d.mask[id]
+		d.mask[id] = 0
+		rates := n.socketRates(iv)
+		for i := range n.Running {
+			st := states[n.Running[i].JobID]
+			if mask&(1<<uint(st.profile.DeviceSocket&1)) == 0 {
+				continue // the job's socket saw no demand change
+			}
+			if st.rate > 0 {
+				st.progress += (now - st.lastAt) * st.rate
+			}
+			st.lastAt = now
+			rate := rates(st.profile)
+			if rate == st.rate {
+				continue
+			}
+			st.rate = rate
+			remaining := st.duration - st.progress
+			if remaining < 0 {
+				remaining = 0
+			}
+			st.end = now + remaining/rate
+			st.epoch++
+			n.Running[i].EndSeconds = st.end
+			events.add(event{at: st.end, kind: evComplete, job: st.job.ID, epoch: st.epoch})
+		}
+	}
+	d.list = d.list[:0]
+}
+
 // kill handles one resident job on a failing node: integrate its
 // progress, bank whole checkpoint intervals as credit, charge the rest
 // as waste, and either requeue it with exponential backoff or fail it
-// permanently once its attempt budget is spent. Returns 1 when the job
-// permanently failed (it counts as finished), 0 when it will retry.
-// The caller clears the node's resident list.
-func kill(st *jobState, retry RetryPolicy, iv Interference, now float64, avoid []int, events *eventHeap) int {
+// permanently once its attempt budget is spent. Returns true when the
+// job permanently failed (it counts as finished), false when it will
+// retry. The caller clears the node's resident list.
+//
+// The requeue time is guarded against the no-fit sentinel: an
+// exponential backoff large enough to overflow (or to land at or past
+// noFitSeconds) used to produce a +Inf arrival time, which poisoned
+// every derived metric and made the JSON export fail outright. A job
+// whose requeue time is unrepresentable now fails permanently instead.
+func kill(st *jobState, retry RetryPolicy, iv Interference, now float64, avoid []int, events *eventHeap) bool {
 	achieved := st.credit + (now - st.start)
 	if iv.Enabled {
 		// Fluid progress is exact: integrate to the failure instant under
@@ -356,22 +644,26 @@ func kill(st *jobState, retry RetryPolicy, iv Interference, now float64, avoid [
 	st.started = false
 	st.rate = 0
 	st.epoch++ // any queued completion event for this attempt is now stale
-	if st.attempts >= retry.MaxAttempts {
-		// Out of attempts: the job fails permanently and its banked
+	requeue := now + retry.backoff(st.attempts)
+	if st.attempts >= retry.MaxAttempts || math.IsInf(requeue, 0) || isNoFit(requeue) {
+		// Out of attempts — or the next attempt is beyond the
+		// representable horizon: the job fails permanently and its banked
 		// checkpoints never pay off.
 		st.failed = true
 		st.end = now
 		st.wasted += st.credit
 		st.credit = 0
-		return 1
+		return true
 	}
 	avoid[st.job.ID] = st.node
-	events.add(event{at: now + retry.backoff(st.attempts), kind: evArrive, job: st.job.ID})
-	return 0
+	events.add(event{at: requeue, kind: evArrive, job: st.job.ID})
+	return false
 }
 
 // snapshot deep-copies the node views so policies can tentatively
-// place jobs without touching the authoritative state.
+// place jobs without touching the authoritative state — the
+// pre-fleet-engine path, kept for Options.LinearScan A/B runs (the
+// indexed engine hands policies a copy-on-write view instead).
 func snapshot(nodes []*NodeView) []*NodeView {
 	out := make([]*NodeView, len(nodes))
 	for i, n := range nodes {

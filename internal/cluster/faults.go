@@ -194,11 +194,18 @@ func (r RetryPolicy) validate() error {
 	return nil
 }
 
-// backoff returns the requeue delay after the attempts-th kill.
+// backoff returns the requeue delay after the attempts-th kill,
+// saturated at the no-fit sentinel: an extreme policy (or enough
+// kills) would otherwise overflow the product to +Inf, and an infinite
+// requeue time poisons downstream arithmetic — the engine treats a
+// sentinel-or-beyond delay as a permanent failure instead.
 func (r RetryPolicy) backoff(attempts int) float64 {
 	d := r.BackoffSeconds
 	for i := 1; i < attempts; i++ {
 		d *= r.BackoffFactor
+		if isNoFit(d) {
+			return noFitSeconds
+		}
 	}
 	return d
 }

@@ -156,6 +156,29 @@ func (n *NodeView) rateOn(iv Interference, p JobProfile) float64 {
 	return iv.rate(p, iv.overloadFactor(read, write))
 }
 
+// socketRates returns a per-profile rate function that computes each
+// socket's demand and overload factor at most once per node instead of
+// once per resident — rateOn is O(residents) per call, so reflowing a
+// whole node through it is O(residents²). The cached factor feeds the
+// same overloadFactor/rate arithmetic as rateOn, so the returned rates
+// are bit-identical to per-resident rateOn calls; the caller must not
+// change the residency set between calls.
+func (n *NodeView) socketRates(iv Interference) func(p JobProfile) float64 {
+	cached := [2]struct {
+		socket int
+		factor float64
+	}{{socket: -1}, {socket: -1}}
+	return func(p JobProfile) float64 {
+		c := &cached[p.DeviceSocket&1]
+		if c.socket != p.DeviceSocket {
+			read, write := n.socketDemand(p.DeviceSocket)
+			c.factor = iv.overloadFactor(read, write)
+			c.socket = p.DeviceSocket
+		}
+		return iv.rate(p, c.factor)
+	}
+}
+
 func clampUnit(v float64) float64 {
 	if v < 0 {
 		return 0

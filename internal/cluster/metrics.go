@@ -94,17 +94,27 @@ type Metrics struct {
 	Records []JobRecord
 	Series  []Sample
 
+	// Passes counts live scheduling passes and Events counts event-heap
+	// pops (stale ones included) — engine bookkeeping the fleet
+	// benchmarks divide wall time by. Not serialized.
+	Passes int
+	Events int
+
 	policy       string
 	nodes        int
 	cores        int
 	bound        float64
 	interference bool
 	faults       bool
+	dedup        bool      // drop consecutive identical utilization samples
+	summaryOnly  bool      // aggregate on the fly; keep no records or series
+	jobs         int       // jobs aggregated (== len(Records) unless summaryOnly)
 	busy         []float64 // per-node busy core-seconds, integrated between events
+	agg          Summary   // running aggregates; Mean* fields hold sums until finish divides
 	summary      Summary
 }
 
-func newMetrics(policy string, nodes, cores int, bound float64, interference, faults bool) *Metrics {
+func newMetrics(policy string, nodes, cores int, bound float64, interference, faults bool, fleet FleetOptions) *Metrics {
 	if bound <= 0 {
 		bound = DefaultSlowdownBoundSeconds
 	}
@@ -115,6 +125,8 @@ func newMetrics(policy string, nodes, cores int, bound float64, interference, fa
 		bound:        bound,
 		interference: interference,
 		faults:       faults,
+		dedup:        fleet.DedupSamples,
+		summaryOnly:  fleet.SummaryOnly,
 		busy:         make([]float64, nodes),
 	}
 }
@@ -132,11 +144,56 @@ func (m *Metrics) integrate(nodes []*NodeView, from, to float64) {
 
 // sample records the post-scheduling occupancy at an event time.
 func (m *Metrics) sample(now float64, nodes []*NodeView) {
+	if m.summaryOnly {
+		return
+	}
 	s := Sample{TimeSeconds: now, CoresInUse: make([]int, len(nodes))}
 	for i, n := range nodes {
 		s.CoresInUse[i] = n.Cores - n.FreeAt(now)
 	}
+	if m.dedup && m.sameAsLast(s.CoresInUse) {
+		return
+	}
 	m.Series = append(m.Series, s)
+}
+
+// integrateOcc is integrate fed from the engine's incrementally
+// maintained occupancy array instead of rescanning resident lists:
+// occ[i] holds exactly Cores - FreeAt(from) (a down node counts as
+// fully busy), so the accrued values are bit-identical.
+func (m *Metrics) integrateOcc(occ []int, from, to float64) {
+	if to <= from {
+		return
+	}
+	for i, c := range occ {
+		m.busy[i] += float64(c) * (to - from)
+	}
+}
+
+// sampleOcc is sample fed from the occupancy array.
+func (m *Metrics) sampleOcc(now float64, occ []int) {
+	if m.summaryOnly {
+		return
+	}
+	if m.dedup && m.sameAsLast(occ) {
+		return
+	}
+	m.Series = append(m.Series, Sample{TimeSeconds: now, CoresInUse: append([]int(nil), occ...)})
+}
+
+// sameAsLast reports whether occupancy is unchanged since the last
+// recorded sample (the DedupSamples fleet option).
+func (m *Metrics) sameAsLast(occ []int) bool {
+	if len(m.Series) == 0 {
+		return false
+	}
+	last := m.Series[len(m.Series)-1].CoresInUse
+	for i, c := range occ {
+		if last[i] != c {
+			return false
+		}
+	}
+	return true
 }
 
 // record registers a finished job. Under the interference model the
@@ -202,51 +259,68 @@ func (m *Metrics) record(st *jobState) {
 	rec.WaitSeconds = wait
 	rec.TurnaroundSeconds = turnaround
 	rec.BoundedSlowdown = bsld
+	if m.summaryOnly {
+		// Fold the job straight into the aggregates (in finish order, not
+		// trace order — summation order is the one observable difference)
+		// and keep nothing per-job.
+		m.jobs++
+		m.accumulate(rec)
+		return
+	}
 	m.Records = append(m.Records, rec)
+}
+
+// accumulate folds one job record into the running aggregates. The
+// Mean* fields hold plain sums until finish divides them.
+func (m *Metrics) accumulate(r JobRecord) {
+	s := &m.agg
+	if r.EndSeconds > s.MakespanSeconds {
+		s.MakespanSeconds = r.EndSeconds
+	}
+	s.MeanWaitSeconds += r.WaitSeconds
+	if r.WaitSeconds > s.MaxWaitSeconds {
+		s.MaxWaitSeconds = r.WaitSeconds
+	}
+	s.MeanTurnaroundSeconds += r.TurnaroundSeconds
+	s.MeanBoundedSlowdown += r.BoundedSlowdown
+	if r.BoundedSlowdown > s.MaxBoundedSlowdown {
+		s.MaxBoundedSlowdown = r.BoundedSlowdown
+	}
+	if m.interference {
+		s.MeanStretch += r.Stretch
+		if r.Stretch > s.MaxStretch {
+			s.MaxStretch = r.Stretch
+		}
+	}
+	if m.faults {
+		s.TotalAttempts += r.Attempts
+		s.BadputStandaloneSeconds += r.WastedStandaloneSeconds
+		if r.Failed {
+			s.FailedJobs++
+		} else {
+			s.CompletedJobs++
+			s.GoodputStandaloneSeconds += r.StandaloneSeconds
+		}
+	}
 }
 
 // finish computes the aggregate summary once all records are in.
 func (m *Metrics) finish() {
-	s := Summary{
-		Policy:          m.policy,
-		Nodes:           m.nodes,
-		CoresPerSocket:  m.cores,
-		Jobs:            len(m.Records),
-		Interference:    m.interference,
-		Faults:          m.faults,
-		NodeUtilization: make([]float64, m.nodes),
-	}
-	for _, r := range m.Records {
-		if r.EndSeconds > s.MakespanSeconds {
-			s.MakespanSeconds = r.EndSeconds
-		}
-		s.MeanWaitSeconds += r.WaitSeconds
-		if r.WaitSeconds > s.MaxWaitSeconds {
-			s.MaxWaitSeconds = r.WaitSeconds
-		}
-		s.MeanTurnaroundSeconds += r.TurnaroundSeconds
-		s.MeanBoundedSlowdown += r.BoundedSlowdown
-		if r.BoundedSlowdown > s.MaxBoundedSlowdown {
-			s.MaxBoundedSlowdown = r.BoundedSlowdown
-		}
-		if m.interference {
-			s.MeanStretch += r.Stretch
-			if r.Stretch > s.MaxStretch {
-				s.MaxStretch = r.Stretch
-			}
-		}
-		if m.faults {
-			s.TotalAttempts += r.Attempts
-			s.BadputStandaloneSeconds += r.WastedStandaloneSeconds
-			if r.Failed {
-				s.FailedJobs++
-			} else {
-				s.CompletedJobs++
-				s.GoodputStandaloneSeconds += r.StandaloneSeconds
-			}
+	if !m.summaryOnly {
+		m.jobs = len(m.Records)
+		for _, r := range m.Records {
+			m.accumulate(r)
 		}
 	}
-	if n := float64(len(m.Records)); n > 0 {
+	s := m.agg
+	s.Policy = m.policy
+	s.Nodes = m.nodes
+	s.CoresPerSocket = m.cores
+	s.Jobs = m.jobs
+	s.Interference = m.interference
+	s.Faults = m.faults
+	s.NodeUtilization = make([]float64, m.nodes)
+	if n := float64(m.jobs); n > 0 {
 		s.MeanWaitSeconds /= n
 		s.MeanTurnaroundSeconds /= n
 		s.MeanBoundedSlowdown /= n
@@ -268,15 +342,22 @@ func (m *Metrics) Summary() Summary { return m.summary }
 
 // WriteJSON writes the full report (summary, per-job records,
 // utilization series) as one JSON document. Equal traces, options and
-// seeds produce byte-identical output.
+// seeds produce byte-identical output. A summary-only run (the
+// SummaryOnly fleet option) kept no records or series and emits just
+// the summary object.
 func (m *Metrics) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if m.summaryOnly {
+		return enc.Encode(struct {
+			Summary Summary `json:"summary"`
+		}{Summary: m.summary})
+	}
 	doc := struct {
 		Summary Summary     `json:"summary"`
 		Jobs    []JobRecord `json:"jobs"`
 		Series  []Sample    `json:"series"`
 	}{Summary: m.summary, Jobs: m.Records, Series: m.Series}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
 	return enc.Encode(doc)
 }
 

@@ -146,24 +146,20 @@ func (p *listPolicy) pick(ctx *SchedContext, j Job, prof JobProfile) int {
 		// No interference model: still avoid the failed node, preferring
 		// the lowest-ID alternative, with first fit as the fallback.
 		if away := ctx.AvoidNode(j.ID); away >= 0 {
-			for _, n := range ctx.Nodes {
-				if n.ID != away && n.FreeAt(ctx.Now) >= ranks {
-					return n.ID
-				}
+			if id := ctx.fitsExcept(ranks, away); id >= 0 {
+				return id
 			}
 		}
 		return ctx.Fits(ranks)
 	}
 	pickBy := func(skip int) (int, float64) {
 		best, bestScore := -1, inf()
-		for _, n := range ctx.Nodes {
-			if n.ID == skip || n.FreeAt(ctx.Now) < ranks {
-				continue
-			}
+		ctx.eachFit(ranks, skip, func(n *NodeView) bool {
 			if score := n.OverloadAfter(ctx.Model, prof); score < bestScore {
 				best, bestScore = n.ID, score
 			}
-		}
+			return true
+		})
 		return best, bestScore
 	}
 	if away := ctx.AvoidNode(j.ID); away >= 0 {

@@ -153,6 +153,17 @@ func checkInvariants(t *testing.T, label string, m *Metrics, tr Trace, opt Optio
 	}
 }
 
+// closeRel is a relative-error comparison for values that may differ
+// by floating-point association (the incremental reflow's telescoped
+// progress sums).
+func closeRel(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Abs(a) + math.Abs(b)
+	return math.Abs(a-b) <= 1e-6*scale
+}
+
 // TestPropertyRandomTraces is the main property sweep: 50 seeds x 4
 // policies x {plain, interference, faults, both} = 800 simulations,
 // each validated structurally and each rerun from scratch to confirm
@@ -200,6 +211,41 @@ func TestPropertyRandomTraces(t *testing.T) {
 				}
 				if !bytes.Equal(first.Bytes(), second.Bytes()) {
 					t.Fatalf("%s: fresh rerun produced different report bytes", label)
+				}
+
+				// The indexed free-capacity view must be an exact drop-in for
+				// the linear all-nodes scan: rerun under LinearScan and
+				// demand byte-identical reports.
+				linOpt := opt
+				linOpt.LinearScan = true
+				lin, _ := simulateFresh(t, seed, linOpt)
+				var linear bytes.Buffer
+				if err := lin.WriteJSON(&linear); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(first.Bytes(), linear.Bytes()) {
+					t.Fatalf("%s: indexed and linear-scan engines produced different report bytes", label)
+				}
+
+				// The fleet options trade byte-compatibility for bounded
+				// per-event work, not correctness: the same sim under
+				// incremental reflow and sample dedup must satisfy every
+				// structural invariant and agree with the exact run up to
+				// floating-point association.
+				fleetOpt := opt
+				fleetOpt.Fleet = FleetOptions{IncrementalReflow: true, DedupSamples: true}
+				fm, ftr := simulateFresh(t, seed, fleetOpt)
+				checkInvariants(t, label+", fleet", fm, ftr, fleetOpt)
+				if len(fm.Series) > len(m.Series) {
+					t.Errorf("%s: dedup produced more samples (%d) than the exact run (%d)", label, len(fm.Series), len(m.Series))
+				}
+				fs, es := fm.Summary(), m.Summary()
+				if fs.Jobs != es.Jobs || fs.CompletedJobs != es.CompletedJobs || fs.FailedJobs != es.FailedJobs || fs.TotalAttempts != es.TotalAttempts {
+					t.Errorf("%s: fleet run job counts diverged: %+v vs %+v", label, fs, es)
+				}
+				if !closeRel(fs.MakespanSeconds, es.MakespanSeconds) || !closeRel(fs.MeanWaitSeconds, es.MeanWaitSeconds) ||
+					!closeRel(fs.MeanBoundedSlowdown, es.MeanBoundedSlowdown) || !closeRel(fs.MeanStretch, es.MeanStretch) {
+					t.Errorf("%s: fleet run summary drifted beyond fp association: %+v vs %+v", label, fs, es)
 				}
 			}
 		}

@@ -144,6 +144,93 @@ func WriteTrace(w io.Writer, tr Trace) error {
 	return enc.Encode(tj)
 }
 
+// TraceSource streams a job trace in arrival order, one job per Next
+// call, so the engine (SimulateStream) never needs the whole trace in
+// memory. Next returns ok == false once the stream is exhausted.
+// Implementations must yield jobs with IDs equal to their stream
+// positions and non-decreasing, non-negative arrivals — the engine
+// re-validates as it pulls and fails fast on a malformed stream.
+type TraceSource interface {
+	Next() (job Job, ok bool, err error)
+}
+
+// Source returns a TraceSource over the in-memory trace, for running a
+// materialized trace through the streaming engine.
+func (t Trace) Source() TraceSource { return &traceSliceSource{jobs: t.Jobs} }
+
+type traceSliceSource struct {
+	jobs []Job
+	i    int
+}
+
+func (s *traceSliceSource) Next() (Job, bool, error) {
+	if s.i >= len(s.jobs) {
+		return Job{}, false, nil
+	}
+	j := s.jobs[s.i]
+	s.i++
+	return j, true, nil
+}
+
+// StreamTrace decodes the ReadTrace JSON schema incrementally: one job
+// is decoded per Next call, so a million-job trace file streams
+// through constant memory. Unlike ReadTrace it cannot sort, so the
+// file must already be in arrival order (jobs are numbered as they
+// stream; an out-of-order arrival surfaces as an engine validation
+// error).
+func StreamTrace(r io.Reader) TraceSource {
+	return &jsonTraceSource{dec: json.NewDecoder(r)}
+}
+
+type jsonTraceSource struct {
+	dec     *json.Decoder
+	started bool // consumed the opening {"jobs": [
+	id      int
+}
+
+// start consumes tokens up to the first element of the jobs array.
+func (s *jsonTraceSource) start() error {
+	if tok, err := s.dec.Token(); err != nil {
+		return fmt.Errorf("decoding trace: %w", err)
+	} else if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return fmt.Errorf("decoding trace: want top-level object, got %v", tok)
+	}
+	if tok, err := s.dec.Token(); err != nil {
+		return fmt.Errorf("decoding trace: %w", err)
+	} else if key, ok := tok.(string); !ok || key != "jobs" {
+		return fmt.Errorf("decoding trace: want %q key, got %v", "jobs", tok)
+	}
+	if tok, err := s.dec.Token(); err != nil {
+		return fmt.Errorf("decoding trace: %w", err)
+	} else if d, ok := tok.(json.Delim); !ok || d != '[' {
+		return fmt.Errorf("decoding trace: want job array, got %v", tok)
+	}
+	s.started = true
+	return nil
+}
+
+func (s *jsonTraceSource) Next() (Job, bool, error) {
+	if !s.started {
+		if err := s.start(); err != nil {
+			return Job{}, false, err
+		}
+	}
+	if !s.dec.More() {
+		return Job{}, false, nil
+	}
+	var jj traceJobJSON
+	if err := s.dec.Decode(&jj); err != nil {
+		return Job{}, false, fmt.Errorf("decoding trace: %w", err)
+	}
+	wf, err := workflow.ReadSpec(bytes.NewReader(jj.Workflow))
+	if err != nil {
+		return Job{}, false, err
+	}
+	j := Job{ID: s.id, Workflow: wf, ArrivalSeconds: jj.ArrivalSeconds}
+	s.id++
+	return j, true, nil
+}
+
 // SyntheticConfig parameterizes the seeded trace generator.
 type SyntheticConfig struct {
 	// Jobs is the number of jobs to synthesize.
@@ -186,6 +273,49 @@ func Synthetic(catalog []workflow.Spec, cfg SyntheticConfig) (Trace, error) {
 		return Trace{}, err
 	}
 	return tr, nil
+}
+
+// SyntheticSource is Synthetic as a stream: it draws the same jobs in
+// the same order from the same seed (draw-for-draw identical, so a
+// SyntheticSource run reproduces a Synthetic run byte for byte) but
+// materializes one job at a time, which is what makes million-job
+// fleet benchmarks fit in memory.
+func SyntheticSource(catalog []workflow.Spec, cfg SyntheticConfig) (TraceSource, error) {
+	if len(catalog) == 0 {
+		return nil, fmt.Errorf("cluster: empty workload catalog")
+	}
+	if cfg.Jobs <= 0 {
+		return nil, fmt.Errorf("cluster: synthetic trace needs a positive job count (got %d)", cfg.Jobs)
+	}
+	if cfg.MeanInterarrivalSeconds <= 0 {
+		return nil, fmt.Errorf("cluster: synthetic trace needs a positive mean inter-arrival (got %g)", cfg.MeanInterarrivalSeconds)
+	}
+	return &synthSource{
+		catalog:   catalog,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		remaining: cfg.Jobs,
+		mean:      cfg.MeanInterarrivalSeconds,
+	}, nil
+}
+
+type synthSource struct {
+	catalog   []workflow.Spec
+	rng       *rand.Rand
+	remaining int
+	mean      float64
+	id        int
+	at        float64
+}
+
+func (s *synthSource) Next() (Job, bool, error) {
+	if s.remaining == 0 {
+		return Job{}, false, nil
+	}
+	j := Job{ID: s.id, Workflow: s.catalog[s.rng.Intn(len(s.catalog))], ArrivalSeconds: s.at}
+	s.at += s.rng.ExpFloat64() * s.mean
+	s.id++
+	s.remaining--
+	return j, true, nil
 }
 
 // SuiteTrace is the bundled 18-workload arrival trace: every workflow
