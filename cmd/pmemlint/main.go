@@ -1,19 +1,40 @@
 // Command pmemlint statically enforces the repo's determinism and
-// cache-key invariants (DESIGN.md §7) with four analyzers:
+// cache-key invariants (DESIGN.md §7) with eight analyzers:
 //
-//	mapiter     no map-order-dependent output in report packages
-//	wallclock   no wall clock / global rand in the simulation kernel
-//	fingerprint cache keys cover every exported struct field
-//	unitsafety  calibrated quantities go through internal/units
+//	mapiter      no map-order-dependent output in report packages
+//	wallclock    no wall clock / global rand in the simulation kernel
+//	fingerprint  cache keys cover every exported struct field
+//	unitsafety   calibrated quantities go through internal/units
+//	eventorder   event-heap pushes derive times from the virtual clock;
+//	             completion re-posts carry the per-job epoch
+//	jsoncontract cluster report fields are omitempty or baselined
+//	floatdet     no float accumulation over unordered iteration
+//	errflow      no silently discarded errors
 //
 // It runs two ways:
 //
 //	pmemlint ./...                          # standalone, loads packages itself
 //	go vet -vettool=$(which pmemlint) ./... # as a vet tool (unitchecker protocol)
 //
-// Standalone mode exits 1 if any diagnostic is reported; vet mode
-// follows the vet convention and exits 2. Suppress individual findings
-// with //pmemlint:ignore <analyzer> <reason>.
+// Standalone mode analyzes packages in dependency order inside one
+// fact session, so cross-package facts (eventorder's TimeDerived) flow
+// without any on-disk state. Vet mode serializes facts into the .vetx
+// file the go command passes between per-package invocations.
+//
+// Flags (standalone mode):
+//
+//	-json               emit machine-readable JSON instead of text
+//	-baseline file.json suppress diagnostics recorded in the baseline
+//
+// The JSON report is {"diagnostics":[{file,line,col,analyzer,message}]}
+// with repo-relative file paths, sorted, suitable for committing as a
+// baseline. A baseline entry suppresses every diagnostic with the same
+// file, analyzer and message (line numbers deliberately do not
+// participate, so unrelated edits cannot un-suppress an entry).
+//
+// Standalone mode exits 1 if any diagnostic survives; vet mode follows
+// the vet convention and exits 2. Suppress individual findings with
+// //pmemlint:ignore <analyzer> <reason>.
 package main
 
 import (
@@ -26,10 +47,16 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"pmemsched/internal/analysis"
+	"pmemsched/internal/analysis/errflow"
+	"pmemsched/internal/analysis/eventorder"
 	"pmemsched/internal/analysis/fingerprint"
+	"pmemsched/internal/analysis/floatdet"
+	"pmemsched/internal/analysis/jsoncontract"
 	"pmemsched/internal/analysis/load"
 	"pmemsched/internal/analysis/mapiter"
 	"pmemsched/internal/analysis/unitsafety"
@@ -37,7 +64,11 @@ import (
 )
 
 var analyzers = []*analysis.Analyzer{
+	errflow.Analyzer,
+	eventorder.Analyzer,
 	fingerprint.Analyzer,
+	floatdet.Analyzer,
+	jsoncontract.Analyzer,
 	mapiter.Analyzer,
 	unitsafety.Analyzer,
 	wallclock.Analyzer,
@@ -67,44 +98,158 @@ func main() {
 
 func standalone(args []string) {
 	fs := flag.NewFlagSet("pmemlint", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON on stdout")
+	baselinePath := fs.String("baseline", "", "suppress diagnostics recorded in this JSON baseline file")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: pmemlint [packages]\n\nAnalyzers:\n")
+		//pmemlint:ignore errflow usage text goes to stderr; a failed usage print is not actionable
+		fmt.Fprintf(fs.Output(), "usage: pmemlint [-json] [-baseline file.json] [packages]\n\nAnalyzers:\n")
 		for _, a := range analyzers {
 			doc, _, _ := strings.Cut(a.Doc, "\n")
+			//pmemlint:ignore errflow usage text goes to stderr; a failed usage print is not actionable
 			fmt.Fprintf(fs.Output(), "  %-12s %s\n", a.Name, doc)
 		}
 	}
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"."}
 	}
 	units, err := load.Packages(patterns)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pmemlint:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	total := 0
+	// One session across all units: load.Packages returns them in
+	// dependency order, so facts flow from each unit to its dependents.
+	session := analysis.NewSession()
+	var diags []analysis.Diagnostic
 	for _, u := range units {
-		diags, err := analysis.Run(u, analyzers)
+		ds, err := session.Run(u, analyzers)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pmemlint:", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		for _, d := range diags {
-			fmt.Println(d)
-			total++
+		diags = append(diags, ds...)
+	}
+	root, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	jds := toJSONDiags(diags, root)
+	if *baselinePath != "" {
+		base, err := readBaseline(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		jds = subtractBaseline(jds, base)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report{Diagnostics: jds}); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range jds {
+			fmt.Printf("%s:%d:%d: %s (%s)\n", d.File, d.Line, d.Col, d.Message, d.Analyzer)
 		}
 	}
-	if total > 0 {
-		fmt.Fprintf(os.Stderr, "pmemlint: %d diagnostic(s)\n", total)
+	if len(jds) > 0 {
+		fmt.Fprintf(os.Stderr, "pmemlint: %d diagnostic(s)\n", len(jds))
 		os.Exit(1)
 	}
 }
 
+// jsonDiag is one diagnostic in the machine-readable report. File is
+// repo-relative (relative to the working directory of the run) so the
+// report is stable across checkouts.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// report is the top-level JSON document; the same shape serves as the
+// committed baseline.
+type report struct {
+	Diagnostics []jsonDiag `json:"diagnostics"`
+}
+
+// toJSONDiags converts diagnostics to their wire form, relativizing
+// paths against root and sorting (file, line, col, analyzer, message).
+func toJSONDiags(diags []analysis.Diagnostic, root string) []jsonDiag {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+		}
+		out = append(out, jsonDiag{
+			File:     filepath.ToSlash(file),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+func readBaseline(path string) ([]jsonDiag, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	return r.Diagnostics, nil
+}
+
+// subtractBaseline drops diagnostics recorded in the baseline, keyed
+// by (file, analyzer, message) — line and column shift under unrelated
+// edits and would make a committed baseline rot.
+func subtractBaseline(diags, base []jsonDiag) []jsonDiag {
+	suppressed := make(map[[3]string]bool, len(base))
+	for _, b := range base {
+		suppressed[[3]string{b.File, b.Analyzer, b.Message}] = true
+	}
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		if suppressed[[3]string{d.File, d.Analyzer, d.Message}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
 // vetConfig is the JSON configuration the go command hands a vet tool
 // for each package unit (cmd/go/internal/work's vetConfig; the same
-// schema x/tools' unitchecker consumes).
+// schema x/tools' unitchecker consumes). PackageVetx maps each import
+// to the facts file an earlier invocation wrote; VetxOutput is where
+// this invocation must write its own.
 type vetConfig struct {
 	ID                        string
 	Compiler                  string
@@ -114,6 +259,7 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
@@ -128,14 +274,9 @@ func vetMode(cfgPath string) {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		fatal(fmt.Errorf("parsing %s: %v", cfgPath, err))
 	}
-	// The go command requires the facts file to exist even though
-	// pmemlint's analyzers exchange no facts.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			fatal(err)
-		}
-	}
-	if cfg.VetxOnly || len(cfg.GoFiles) == 0 {
+	if len(cfg.GoFiles) == 0 {
+		// Nothing to analyze; still satisfy the protocol's facts file.
+		writeVetx(cfg, nil)
 		return
 	}
 	fset := token.NewFileSet()
@@ -149,6 +290,7 @@ func vetMode(cfgPath string) {
 	unit, err := load.Check(fset, mappedImporter{cfg.ImportMap, gc}, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(cfg, nil)
 			return
 		}
 		fatal(err)
@@ -159,15 +301,61 @@ func vetMode(cfgPath string) {
 	if i := strings.Index(unit.Path, " ["); i >= 0 {
 		unit.Path = unit.Path[:i]
 	}
-	diags, err := analysis.Run(unit, analyzers)
+	session := analysis.NewSession()
+	importFacts(session, cfg, unit.Pkg)
+	diags, err := session.Run(unit, analyzers)
 	if err != nil {
 		fatal(err)
+	}
+	writeVetx(cfg, func() []byte {
+		out, err := session.EncodeFacts(unit.Pkg, analyzers)
+		if err != nil {
+			fatal(err)
+		}
+		return out
+	}())
+	if cfg.VetxOnly {
+		return
 	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
 	}
 	if len(diags) > 0 {
 		os.Exit(2)
+	}
+}
+
+// importFacts loads the facts earlier vet invocations serialized for
+// this unit's imports. Missing or stale vetx content only degrades
+// cross-package detection, so read failures are not fatal.
+func importFacts(session *analysis.Session, cfg vetConfig, pkg *types.Package) {
+	for _, imp := range pkg.Imports() {
+		path := imp.Path()
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		vetx, ok := cfg.PackageVetx[path]
+		if !ok {
+			continue
+		}
+		data, err := os.ReadFile(vetx)
+		if err != nil || len(data) == 0 {
+			continue
+		}
+		if err := session.DecodeFacts(imp, analyzers, data); err != nil {
+			fmt.Fprintf(os.Stderr, "pmemlint: ignoring facts for %s: %v\n", path, err)
+		}
+	}
+}
+
+// writeVetx satisfies the protocol: the go command requires the facts
+// file to exist even when there are no facts to pass on.
+func writeVetx(cfg vetConfig, data []byte) {
+	if cfg.VetxOutput == "" {
+		return
+	}
+	if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+		fatal(err)
 	}
 }
 
@@ -200,8 +388,10 @@ func printVersion() {
 	exe, err := os.Executable()
 	if err == nil {
 		if f, err := os.Open(exe); err == nil {
-			io.Copy(h, f)
-			f.Close()
+			// Best-effort: an error mid-copy still leaves a hash that
+			// changes whenever the binary prefix does.
+			_, _ = io.Copy(h, f)
+			_ = f.Close()
 		}
 	}
 	fmt.Printf("pmemlint version devel buildID=%02x\n", h.Sum(nil)[:12])

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"pmemsched/internal/analysis"
+)
+
+func diag(file string, line, col int, analyzer, msg string) analysis.Diagnostic {
+	return analysis.Diagnostic{
+		Pos:      token.Position{Filename: file, Line: line, Column: col},
+		Message:  msg,
+		Analyzer: analyzer,
+	}
+}
+
+func TestToJSONDiagsRelativizesAndSorts(t *testing.T) {
+	root := string(filepath.Separator) + filepath.Join("repo")
+	in := []analysis.Diagnostic{
+		diag(filepath.Join(root, "b", "b.go"), 3, 1, "errflow", "zz"),
+		diag(filepath.Join(root, "a", "a.go"), 9, 2, "floatdet", "m1"),
+		diag(filepath.Join(root, "a", "a.go"), 2, 5, "mapiter", "m2"),
+		diag(filepath.Join(string(filepath.Separator), "elsewhere", "c.go"), 1, 1, "errflow", "outside root"),
+	}
+	got := toJSONDiags(in, root)
+	want := []jsonDiag{
+		{File: "/elsewhere/c.go", Line: 1, Col: 1, Analyzer: "errflow", Message: "outside root"},
+		{File: "a/a.go", Line: 2, Col: 5, Analyzer: "mapiter", Message: "m2"},
+		{File: "a/a.go", Line: 9, Col: 2, Analyzer: "floatdet", Message: "m1"},
+		{File: "b/b.go", Line: 3, Col: 1, Analyzer: "errflow", Message: "zz"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("toJSONDiags = %+v, want %+v", got, want)
+	}
+}
+
+func TestSubtractBaselineIgnoresLineNumbers(t *testing.T) {
+	diags := []jsonDiag{
+		{File: "a.go", Line: 10, Col: 1, Analyzer: "errflow", Message: "discarded"},
+		{File: "a.go", Line: 20, Col: 1, Analyzer: "mapiter", Message: "unordered"},
+		{File: "b.go", Line: 5, Col: 1, Analyzer: "errflow", Message: "discarded"},
+	}
+	base := []jsonDiag{
+		// Recorded at a different line: must still suppress, because a
+		// committed baseline cannot track unrelated edits.
+		{File: "a.go", Line: 3, Col: 9, Analyzer: "errflow", Message: "discarded"},
+	}
+	got := subtractBaseline(diags, base)
+	want := []jsonDiag{
+		{File: "a.go", Line: 20, Col: 1, Analyzer: "mapiter", Message: "unordered"},
+		{File: "b.go", Line: 5, Col: 1, Analyzer: "errflow", Message: "discarded"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("subtractBaseline = %+v, want %+v", got, want)
+	}
+}
+
+func TestSubtractBaselineEmptyBaselinePassesEverything(t *testing.T) {
+	diags := []jsonDiag{{File: "a.go", Line: 1, Col: 1, Analyzer: "errflow", Message: "x"}}
+	if got := subtractBaseline(diags, nil); !reflect.DeepEqual(got, diags) {
+		t.Errorf("empty baseline changed diagnostics: %+v", got)
+	}
+}
+
+func TestReadBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	in := report{Diagnostics: []jsonDiag{
+		{File: "a.go", Line: 1, Col: 2, Analyzer: "unitsafety", Message: "raw literal"},
+	}}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, in.Diagnostics) {
+		t.Errorf("readBaseline = %+v, want %+v", got, in.Diagnostics)
+	}
+	if _, err := readBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("readBaseline on a missing file should fail, not silently pass an empty baseline")
+	}
+}
+
+// TestEmptyBaselineDocument checks the committed empty-baseline shape:
+// CI commits {"diagnostics": []} and fails on any addition.
+func TestEmptyBaselineDocument(t *testing.T) {
+	var r report
+	if err := json.Unmarshal([]byte(`{"diagnostics": []}`), &r); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Diagnostics) != 0 {
+		t.Errorf("empty baseline parsed to %d diagnostics", len(r.Diagnostics))
+	}
+}

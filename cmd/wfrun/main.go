@@ -60,6 +60,7 @@ func main() {
 			os.Exit(2)
 		}
 		wf, err = pmemsched.ReadWorkflow(f)
+		//pmemlint:ignore errflow read-only file; decode errors are checked, a close error cannot lose data
 		f.Close()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "wfrun:", err)

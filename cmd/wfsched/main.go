@@ -157,6 +157,7 @@ func selectTrace(tracePath string, jobs int, interarrival float64, seed int64) (
 		if err != nil {
 			return cluster.Trace{}, err
 		}
+		//pmemlint:ignore errflow read-only file; decode errors are checked, a close error cannot lose data
 		defer f.Close()
 		return cluster.ReadTrace(f)
 	case jobs < 0:
@@ -214,6 +215,7 @@ func faultOptions(opt *cluster.Options, faults bool, schedule string, mtbf, mttr
 		if err != nil {
 			return err
 		}
+		//pmemlint:ignore errflow read-only file; decode errors are checked, a close error cannot lose data
 		defer f.Close()
 		outages, err := cluster.ReadOutages(f)
 		if err != nil {

@@ -11,13 +11,14 @@ import (
 	"os"
 
 	"pmemsched"
+	"pmemsched/internal/units"
 )
 
 func main() {
 	env := pmemsched.DefaultEnv()
 
 	// A pipeline that must finish its 10 snapshots within a deadline.
-	const deadlineSeconds = 9.0
+	const deadlineSeconds = 9 * units.Second
 	build := func(ranks int) pmemsched.Workflow {
 		sim := pmemsched.Component{
 			Name:                "spectral-sim",

@@ -16,6 +16,7 @@ import (
 
 	"pmemsched"
 	"pmemsched/internal/cluster"
+	"pmemsched/internal/units"
 )
 
 func main() {
@@ -28,7 +29,7 @@ func main() {
 	// The bundled trace: each suite workflow once, seeded random order,
 	// Poisson arrivals with a 5s mean — enough pressure on two nodes
 	// that configuration choice compounds into queueing delay.
-	tr, err := cluster.SuiteTrace(7, 5)
+	tr, err := cluster.SuiteTrace(7, 5*units.Second)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -32,6 +32,10 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph description shown by `pmemlint -help`.
 	Doc string
+	// FactTypes lists the Fact types the analyzer exports or imports
+	// (each a pointer to a zero value). An analyzer that uses an
+	// undeclared fact type panics at the first export/import.
+	FactTypes []Fact
 	// Run applies the analyzer to one package, reporting findings
 	// through pass.Reportf.
 	Run func(*Pass) error
@@ -80,7 +84,8 @@ type Pass struct {
 	// PkgPath is the import path for scope decisions (see Unit.Path).
 	PkgPath string
 
-	report func(Diagnostic)
+	session *Session
+	report  func(Diagnostic)
 }
 
 // Reportf records a diagnostic at pos.
@@ -115,11 +120,19 @@ func (p *Pass) Preorder(fn func(ast.Node)) {
 	}
 }
 
-// Run applies every analyzer to the unit, collects diagnostics, applies
-// //pmemlint:ignore directives, and returns the surviving diagnostics
-// sorted by position. Malformed directives are returned as diagnostics
-// of the pseudo-analyzer "pmemlint".
+// Run applies every analyzer to one standalone unit with a fresh fact
+// session. For a multi-unit run whose analyzers exchange facts, create
+// one Session and feed it the units in dependency order instead.
 func Run(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return NewSession().Run(u, analyzers)
+}
+
+// Run applies every analyzer to the unit against the session's fact
+// store, collects diagnostics, applies //pmemlint:ignore directives,
+// and returns the surviving diagnostics sorted by position. Malformed
+// directives are returned as diagnostics of the pseudo-analyzer
+// "pmemlint".
+func (s *Session) Run(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -129,6 +142,7 @@ func Run(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Pkg:       u.Pkg,
 			TypesInfo: u.Info,
 			PkgPath:   u.PkgPath(),
+			session:   s,
 			report:    func(d Diagnostic) { diags = append(diags, d) },
 		}
 		if err := a.Run(pass); err != nil {

@@ -37,7 +37,11 @@ import (
 )
 
 // Run loads each fixture package and checks the analyzer's diagnostics
-// against the // want expectations in its sources.
+// against the // want expectations in its sources. All packages run in
+// one fact session, in the listed order, so a fixture may import an
+// earlier-listed fixture and observe the facts its analysis exported —
+// list fact-producing packages before their dependents, exactly as the
+// dependency-ordered production loader would schedule them.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, importPaths ...string) {
 	t.Helper()
 	ld := &loader{
@@ -46,13 +50,14 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, importPaths ...str
 		loaded: make(map[string]*loadedPkg),
 	}
 	ld.std = importer.ForCompiler(ld.fset, "source", nil)
+	session := analysis.NewSession()
 	for _, path := range importPaths {
 		pkg, err := ld.load(path)
 		if err != nil {
 			t.Fatalf("loading fixture %s: %v", path, err)
 		}
 		unit := &analysis.Unit{Fset: ld.fset, Files: pkg.files, Pkg: pkg.pkg, Info: pkg.info}
-		diags, err := analysis.Run(unit, []*analysis.Analyzer{a})
+		diags, err := session.Run(unit, []*analysis.Analyzer{a})
 		if err != nil {
 			t.Fatalf("running %s on %s: %v", a.Name, path, err)
 		}

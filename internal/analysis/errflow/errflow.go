@@ -1,0 +1,167 @@
+// Package errflow defines an analyzer that flags silently discarded
+// errors (DESIGN.md §7). A simulator that drops a write or close error
+// reports truncated metrics as if they were complete; the CLIs drop
+// flag-parse errors and then run on half-parsed configuration. An
+// error must be checked, explicitly discarded with `_ =`, or the call
+// site annotated with a reasoned //pmemlint:ignore.
+package errflow
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"pmemsched/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errflow",
+	Doc: `flag call statements that discard a returned error
+
+A call used as a bare statement (including defer and go statements)
+whose last result is an error silently drops failure. The stdout print
+family (fmt.Print/Printf/Println) and writes that cannot fail —
+fmt.Fprint* to a *bytes.Buffer, *strings.Builder, a hash, or
+os.Stderr, and methods on those writer types — are exempt, matching
+the policy of errcheck's default ignore list. Everything else must
+check the error, discard it explicitly with _ =, or annotate the line
+with //pmemlint:ignore errflow <reason>.`,
+	Run: run,
+}
+
+// scopeRE covers all production packages: the simulation core under
+// internal/ and the CLIs under cmd/.
+var scopeRE = regexp.MustCompile(`(^|/)(cmd|internal)(/|$)`)
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func run(pass *analysis.Pass) error {
+	if !scopeRE.MatchString(pass.PkgPath) {
+		return nil
+	}
+	pass.Preorder(func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				check(pass, call, "")
+			}
+		case *ast.DeferStmt:
+			check(pass, n.Call, "deferred ")
+		case *ast.GoStmt:
+			check(pass, n.Call, "go-spawned ")
+		}
+	})
+	return nil
+}
+
+func check(pass *analysis.Pass, call *ast.CallExpr, how string) {
+	if !returnsError(pass, call) || exempt(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%scall %s discards its error; dropped errors report failures as success — check it, discard explicitly with _ =, or annotate with //pmemlint:ignore errflow <reason>", how, types.ExprString(call.Fun))
+}
+
+// returnsError reports whether the call's last result is an error.
+// Type conversions and builtin calls are excluded.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return false // conversion, e.g. error(x)
+	}
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && types.Identical(t.At(t.Len()-1).Type(), errorType)
+	default:
+		return tv.Type != nil && types.Identical(tv.Type, errorType)
+	}
+}
+
+// exempt implements the can't-fail policy: stdout prints, fmt.Fprint*
+// to infallible writers or os.Stderr, and methods on infallible writer
+// types.
+func exempt(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := callee(pass, call)
+	if fn == nil {
+		return false
+	}
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			return true // stdout diagnostics; a failed terminal write is not actionable
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) > 0 {
+				return infallibleWriterExpr(pass, call.Args[0])
+			}
+		}
+		return false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		// Judge by the receiver expression's type, not the method's
+		// declared receiver: hash.Hash embeds io.Writer, so Write's
+		// declared receiver would hide the hash.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if tv, ok := pass.TypesInfo.Types[sel.X]; ok {
+				return infallibleWriterType(tv.Type)
+			}
+		}
+	}
+	return false
+}
+
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// infallibleWriterExpr reports whether the expression denotes a writer
+// whose Write cannot fail: an in-memory buffer/builder, a hash, or the
+// process's standard error stream.
+func infallibleWriterExpr(pass *analysis.Pass, e ast.Expr) bool {
+	if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == "os" && sel.Sel.Name == "Stderr" {
+			if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "os" {
+				return true
+			}
+		}
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && infallibleWriterType(tv.Type)
+}
+
+// infallibleWriterType reports whether t (possibly a pointer) is
+// *bytes.Buffer, *strings.Builder, or a type from the hash packages.
+func infallibleWriterType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	name := named.Obj().Name()
+	switch {
+	case path == "bytes" && name == "Buffer":
+		return true
+	case path == "strings" && name == "Builder":
+		return true
+	case path == "hash" || strings.HasPrefix(path, "hash/"):
+		return true
+	}
+	return false
+}

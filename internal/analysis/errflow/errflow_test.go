@@ -1,0 +1,12 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"pmemsched/internal/analysis/analysistest"
+	"pmemsched/internal/analysis/errflow"
+)
+
+func TestErrflow(t *testing.T) {
+	analysistest.Run(t, "testdata", errflow.Analyzer, "cmd/tool")
+}

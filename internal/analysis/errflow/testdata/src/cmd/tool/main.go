@@ -1,0 +1,46 @@
+// Package main is an errflow fixture: discarded, checked, explicitly
+// discarded and exempt error-returning calls.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"hash"
+	"io"
+	"os"
+	"strings"
+)
+
+func work() error { return nil }
+
+func run(w io.Writer, f *os.File, h hash.Hash) {
+	f.Close() // want `call f.Close discards its error`
+
+	defer f.Close() // want `deferred call f.Close discards its error`
+
+	go work() // want `go-spawned call work discards its error`
+
+	fmt.Fprintf(w, "to a fallible writer\n") // want `call fmt.Fprintf discards its error`
+
+	if err := work(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	_ = f.Close()
+
+	fmt.Println("stdout prints are exempt")
+	fmt.Fprintln(os.Stderr, "stderr prints are exempt")
+
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "in-memory writes cannot fail")
+	buf.WriteString("neither can builder methods")
+
+	var sb strings.Builder
+	sb.WriteByte('x')
+
+	h.Write([]byte("hash writes cannot fail"))
+
+	//pmemlint:ignore errflow fixture exercises suppression of a discarded close
+	f.Close()
+}
+
+func main() {}

@@ -1,0 +1,336 @@
+// Package eventorder defines an analyzer that guards the cluster
+// engine's event-heap discipline (DESIGN.md §7). The engine's
+// byte-determinism rests on two local rules at every heap push: the
+// event's time must be derived from the virtual clock (now, an arrival
+// field, a completion estimate — never a wall-clock read or an
+// unanchored number), and a completion event must carry the job's
+// epoch so a re-post can invalidate its stale predecessor. Both rules
+// grew out of PR 4's fluid-reflow engine, where a single epoch-less
+// re-post silently double-completes a job.
+package eventorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"pmemsched/internal/analysis"
+)
+
+// TimeDerived marks a function or method at least one of whose return
+// values is derived from the virtual clock (an expression anchored in
+// now, an arrival/completion field, or another TimeDerived call). The
+// fact travels across packages, so a helper package's repair-time
+// generator anchors the engine-side pushes that consume it.
+type TimeDerived struct{}
+
+// AFact marks TimeDerived as an analysis fact.
+func (*TimeDerived) AFact() {}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "eventorder",
+	Doc: `require event-heap pushes to use virtual-clock-derived times and epoch-carrying completion re-posts
+
+An event struct literal (a struct with "at" and "kind" fields) pushed
+onto the engine heap must take its time from the simulation's virtual
+clock: the "at" expression must be anchored in now, an
+arrival/start/end/Seconds field, or a call to a function whose returns
+are so anchored (tracked via the TimeDerived fact, across packages and
+through local assignments). A completion event ("kind" mentioning
+Complete) must carry an explicit epoch field referencing the job's
+epoch counter, so that re-posting under reflow invalidates the stale
+event instead of double-completing the job.`,
+	FactTypes: []analysis.Fact{(*TimeDerived)(nil)},
+	Run:       run,
+}
+
+// scopeRE gates diagnostics to the engine package; facts are computed
+// for every package so helpers keep anchoring engine pushes even if
+// they move out of internal/cluster.
+var scopeRE = regexp.MustCompile(`internal/cluster$`)
+
+// anchorRE matches identifier and field names that denote a
+// virtual-clock quantity: the clock itself (now), event/record
+// timestamps (at, end, start, lastAt, deadline, …Seconds) and arrival
+// fields.
+var anchorRE = regexp.MustCompile(`(?i)(seconds$|^now$|^at$|^end$|^start$|^lastat$|^deadline$|arrival)`)
+
+// completeRE matches the event-kind identifiers that denote a
+// completion (evComplete and any future spelling containing
+// "complete").
+var completeRE = regexp.MustCompile(`(?i)complete`)
+
+// epochRE matches epoch-counter references.
+var epochRE = regexp.MustCompile(`(?i)epoch`)
+
+func run(pass *analysis.Pass) error {
+	exportFacts(pass)
+	if !scopeRE.MatchString(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			env := assignments(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				lit, ok := n.(*ast.CompositeLit)
+				if ok {
+					checkEventLiteral(pass, lit, env)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// exportFacts computes the TimeDerived fact for every function of the
+// package, iterating to a fixpoint so helpers that anchor through
+// other in-package helpers (kill → RetryPolicy.backoff) converge
+// regardless of declaration order.
+func exportFacts(pass *analysis.Pass) {
+	type fn struct {
+		decl *ast.FuncDecl
+		env  map[types.Object]ast.Expr
+	}
+	var fns []fn
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fns = append(fns, fn{fd, assignments(pass, fd.Body)})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range fns {
+			obj := pass.TypesInfo.Defs[f.decl.Name]
+			if obj == nil || pass.ImportObjectFact(obj, &TimeDerived{}) {
+				continue
+			}
+			derived := false
+			ast.Inspect(f.decl.Body, func(n ast.Node) bool {
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok || derived {
+					return !derived
+				}
+				for _, res := range ret.Results {
+					if timeDerived(pass, res, f.env, nil) {
+						derived = true
+					}
+				}
+				return true
+			})
+			if derived {
+				pass.ExportObjectFact(obj, &TimeDerived{})
+				changed = true
+			}
+		}
+	}
+}
+
+// checkEventLiteral applies both push rules to one event literal. A
+// literal with no elements is the zero-value sentinel (peek's empty
+// return), not a push, and is skipped.
+func checkEventLiteral(pass *analysis.Pass, lit *ast.CompositeLit, env map[types.Object]ast.Expr) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || len(lit.Elts) == 0 {
+		return
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok || !isEventStruct(st) {
+		return
+	}
+	fields := fieldExprs(st, lit)
+	if at := fields["at"]; at != nil && !timeDerived(pass, at, env, nil) {
+		pass.Reportf(at.Pos(), "event time %s is not derived from the virtual clock (now, an arrival/start/end/Seconds field, or a TimeDerived call); raw event times break the engine's determinism — derive the time, or annotate with //pmemlint:ignore eventorder <reason>", types.ExprString(at))
+	}
+	kind := fields["kind"]
+	if kind == nil || !mentions(kind, completeRE) {
+		return
+	}
+	epoch, ok := fields["epoch"]
+	if !ok || epoch == nil {
+		pass.Reportf(lit.Pos(), "completion event posted without an epoch; an epoch-less completion re-post cannot be invalidated and double-completes the job — set epoch from the job's epoch counter, or annotate with //pmemlint:ignore eventorder <reason>")
+		return
+	}
+	if !mentions(epoch, epochRE) {
+		pass.Reportf(epoch.Pos(), "completion event epoch %s does not reference the job's epoch counter; stale-event invalidation needs the per-job epoch — use the job state's epoch field, or annotate with //pmemlint:ignore eventorder <reason>", types.ExprString(epoch))
+	}
+}
+
+// isEventStruct recognizes the engine event shape: a struct with a
+// numeric "at" field and a "kind" field.
+func isEventStruct(st *types.Struct) bool {
+	var hasAt, hasKind bool
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		switch f.Name() {
+		case "at":
+			if b, ok := f.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsNumeric != 0 {
+				hasAt = true
+			}
+		case "kind":
+			hasKind = true
+		}
+	}
+	return hasAt && hasKind
+}
+
+// fieldExprs maps field names to the literal's element expressions,
+// handling both keyed and positional forms. The returned map contains
+// an entry (possibly nil-valued only via absence) per present field.
+func fieldExprs(st *types.Struct, lit *ast.CompositeLit) map[string]ast.Expr {
+	out := make(map[string]ast.Expr, len(lit.Elts))
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				out[id.Name] = kv.Value
+			}
+			continue
+		}
+		if i < st.NumFields() {
+			out[st.Field(i).Name()] = elt
+		}
+	}
+	return out
+}
+
+// timeDerived reports whether the expression is anchored in the
+// virtual clock: directly (an anchor-named identifier or field),
+// through arithmetic, through a call to a TimeDerived function, or
+// through a local variable whose assignment was itself derived.
+// visited guards the local-variable recursion against cycles.
+func timeDerived(pass *analysis.Pass, e ast.Expr, env map[types.Object]ast.Expr, visited map[types.Object]bool) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if anchorRE.MatchString(e.Name) {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[e]
+		if obj == nil || visited[obj] {
+			return false
+		}
+		rhs, ok := env[obj]
+		if !ok {
+			return false
+		}
+		if visited == nil {
+			visited = make(map[types.Object]bool)
+		}
+		visited[obj] = true
+		return timeDerived(pass, rhs, env, visited)
+	case *ast.SelectorExpr:
+		return anchorRE.MatchString(e.Sel.Name)
+	case *ast.CallExpr:
+		var callee types.Object
+		switch fun := e.Fun.(type) {
+		case *ast.Ident:
+			callee = pass.TypesInfo.Uses[fun]
+		case *ast.SelectorExpr:
+			callee = pass.TypesInfo.Uses[fun.Sel]
+		}
+		if fn, ok := callee.(*types.Func); ok {
+			if pass.ImportObjectFact(fn, &TimeDerived{}) {
+				return true
+			}
+		}
+		return false
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+			return timeDerived(pass, e.X, env, visited) || timeDerived(pass, e.Y, env, visited)
+		}
+		return false
+	case *ast.ParenExpr:
+		return timeDerived(pass, e.X, env, visited)
+	case *ast.UnaryExpr:
+		if e.Op == token.ADD || e.Op == token.SUB {
+			return timeDerived(pass, e.X, env, visited)
+		}
+		return false
+	case *ast.IndexExpr:
+		return timeDerived(pass, e.X, env, visited)
+	}
+	return false
+}
+
+// assignments maps every local variable of the function body to the
+// expression last syntactically assigned to it — a deliberately simple
+// flow-insensitive view, sufficient to chase the requeue/at temporaries
+// the engine builds immediately before a push. A variable assigned a
+// single multi-value call maps to that call.
+func assignments(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]ast.Expr {
+	env := make(map[types.Object]ast.Expr)
+	bind := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		if obj := objectOf(pass, id); obj != nil {
+			env[obj] = rhs
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 {
+				for _, lhs := range n.Lhs {
+					bind(lhs, n.Rhs[0])
+				}
+			} else {
+				for i := range n.Lhs {
+					if i < len(n.Rhs) {
+						bind(n.Lhs[i], n.Rhs[i])
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Values) == 1 {
+				for _, name := range n.Names {
+					bind(name, n.Values[0])
+				}
+			} else {
+				for i, name := range n.Names {
+					if i < len(n.Values) {
+						bind(name, n.Values[i])
+					}
+				}
+			}
+		}
+		return true
+	})
+	return env
+}
+
+// mentions reports whether any identifier inside the expression (or
+// any selector's field name) matches re.
+func mentions(e ast.Expr, re *regexp.Regexp) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && re.MatchString(id.Name) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func objectOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if o := pass.TypesInfo.Defs[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Uses[id]
+}

@@ -1,0 +1,16 @@
+package eventorder_test
+
+import (
+	"testing"
+
+	"pmemsched/internal/analysis/analysistest"
+	"pmemsched/internal/analysis/eventorder"
+)
+
+// TestEventorder runs the fixture packages in dependency order inside
+// one fact session: clocklib's analysis exports TimeDerived facts that
+// the internal/cluster fixture then observes across the package
+// boundary.
+func TestEventorder(t *testing.T) {
+	analysistest.Run(t, "testdata", eventorder.Analyzer, "clocklib", "internal/cluster")
+}

@@ -1,0 +1,20 @@
+// Package clocklib is a fixture helper: it exports one virtual-clock
+// derived function and one that is not, so the dependent fixture can
+// observe the TimeDerived fact across a package boundary.
+package clocklib
+
+// NextRepair is TimeDerived: its return is anchored in now.
+func NextRepair(now float64) float64 {
+	return now + 5
+}
+
+// Magic is not TimeDerived: its return is an unanchored constant.
+func Magic() float64 {
+	return 42
+}
+
+// Jitter is TimeDerived through an in-package helper call, exercising
+// the fixpoint.
+func Jitter(now float64) float64 {
+	return NextRepair(now) * 2
+}

@@ -1,0 +1,79 @@
+// Package cluster is an eventorder fixture modelling the engine's
+// event-heap pushes: anchored and raw times, epoch-carrying and
+// epoch-less completion posts, cross-package TimeDerived facts, and
+// the suppression directive.
+package cluster
+
+import "clocklib"
+
+type eventKind int
+
+const (
+	evArrive eventKind = iota
+	evComplete
+)
+
+type event struct {
+	at    float64
+	kind  eventKind
+	job   int
+	epoch int
+}
+
+type jobState struct {
+	end   float64
+	epoch int
+	job   int
+}
+
+type heap struct{ events []event }
+
+func (h *heap) add(e event) { h.events = append(h.events, e) }
+
+func (h *heap) peek() (event, bool) {
+	if len(h.events) == 0 {
+		return event{}, false // zero-value sentinel: no elements, not a push
+	}
+	return h.events[0], true
+}
+
+func nextRetry(now float64) float64 {
+	return now + 30
+}
+
+func pushes(h *heap, now float64, st jobState, arrivalSeconds float64) {
+	h.add(event{at: now + 1, kind: evArrive, job: 1})
+	h.add(event{at: arrivalSeconds, kind: evArrive, job: 2})
+	h.add(event{at: st.end, kind: evComplete, job: st.job, epoch: st.epoch})
+
+	h.add(event{at: 42.0, kind: evArrive, job: 3}) // want `event time 42.0 is not derived from the virtual clock`
+
+	h.add(event{at: st.end, kind: evComplete, job: st.job}) // want `completion event posted without an epoch`
+
+	h.add(event{at: st.end, kind: evComplete, job: st.job, epoch: 3}) // want `completion event epoch 3 does not reference the job's epoch counter`
+}
+
+// factConsumers exercises the cross-package TimeDerived fact: the
+// helper's name carries no clock anchor, so only the fact imported
+// from clocklib's analysis makes the first two pushes pass.
+func factConsumers(h *heap, now float64) {
+	h.add(event{at: clocklib.NextRepair(now), kind: evArrive, job: 1})
+	h.add(event{at: clocklib.Jitter(now), kind: evArrive, job: 2})
+	h.add(event{at: clocklib.Magic(), kind: evArrive, job: 3}) // want `event time clocklib.Magic\(\) is not derived from the virtual clock`
+}
+
+// localFlow exercises the assignment dataflow: "when" carries no
+// anchor name, its derivation comes from the in-package TimeDerived
+// helper it was assigned from.
+func localFlow(h *heap, now float64) {
+	when := nextRetry(now)
+	h.add(event{at: when, kind: evArrive, job: 4})
+
+	raw := 7.0
+	h.add(event{at: raw, kind: evArrive, job: 5}) // want `event time raw is not derived from the virtual clock`
+}
+
+func suppressed(h *heap) {
+	//pmemlint:ignore eventorder fixture exercises suppression of a raw push
+	h.add(event{at: 99.0, kind: evArrive, job: 6})
+}

@@ -1,0 +1,175 @@
+// Package floatdet defines an analyzer that catches nondeterministic
+// float accumulation (DESIGN.md §7). Float addition does not commute
+// under rounding, so summing values in an order the runtime does not
+// fix — a map range, or a goroutine fan-in draining a channel — makes
+// the low bits of the result vary between runs, which the engine's
+// byte-identity goldens and cross-run comparisons cannot tolerate.
+package floatdet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"pmemsched/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "floatdet",
+	Doc: `flag float accumulation over unordered iteration (map ranges, channel fan-in)
+
+A compound float accumulation (+=, -=, *=, /=, or x = x + e) into a
+variable declared outside the loop is order-dependent under rounding.
+Inside a range over a map the iteration order is deliberately
+randomized by the runtime; draining a channel filled by concurrent
+goroutines observes scheduler order. Either way the accumulated float
+differs in its low bits between runs. Accumulate over sorted keys,
+collect into an index-addressed slice, or keep integer units instead.`,
+	Run: run,
+}
+
+// scopeRE limits the analyzer to the deterministic simulation core;
+// CLIs may sum floats for display where the low bits do not matter.
+var scopeRE = regexp.MustCompile(`internal/(cluster|core|experiments)$`)
+
+func run(pass *analysis.Pass) error {
+	if !scopeRE.MatchString(pass.PkgPath) {
+		return nil
+	}
+	pass.Preorder(func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			tv, ok := pass.TypesInfo.Types[n.X]
+			if !ok {
+				return
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				findAccumulations(pass, n.Body, "a map range; map iteration order varies between runs")
+			case *types.Chan:
+				findAccumulations(pass, n.Body, "a channel-range fan-in; goroutine completion order varies between runs")
+			}
+		case *ast.ForStmt:
+			// A counted drain loop: for i := 0; i < n; i++ { sum += <-ch }.
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				as, ok := m.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				if acc, rhs := accumulation(pass, as); acc != nil && containsReceive(rhs) {
+					reportAccumulation(pass, acc, n.Body, "a channel-receive fan-in loop; goroutine completion order varies between runs")
+				}
+				return true
+			})
+		}
+	})
+	return nil
+}
+
+// findAccumulations reports each compound float accumulation in body
+// whose target is declared outside body (a per-iteration local is
+// reset every pass and carries no cross-iteration order dependence).
+func findAccumulations(pass *analysis.Pass, body *ast.BlockStmt, why string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if acc, _ := accumulation(pass, as); acc != nil {
+			reportAccumulation(pass, acc, body, why)
+		}
+		return true
+	})
+}
+
+func reportAccumulation(pass *analysis.Pass, acc ast.Expr, body *ast.BlockStmt, why string) {
+	if obj := targetObject(pass, acc); obj != nil && body.Pos() <= obj.Pos() && obj.Pos() < body.End() {
+		return // declared inside the loop body
+	}
+	pass.Reportf(acc.Pos(), "float accumulation into %s inside %s, so float rounding makes the result nondeterministic — iterate over sorted keys, collect by index, or annotate with //pmemlint:ignore floatdet <reason>", types.ExprString(acc), why)
+}
+
+// accumulation recognizes a compound float accumulation statement and
+// returns its target expression and RHS: x += e (and -=, *=, /=) or
+// the spelled-out x = x + e. The target must be an identifier or field
+// selector of floating-point type.
+func accumulation(pass *analysis.Pass, as *ast.AssignStmt) (ast.Expr, ast.Expr) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, nil
+	}
+	lhs, rhs := as.Lhs[0], as.Rhs[0]
+	if !isFloat(pass, lhs) || !isAccTarget(lhs) {
+		return nil, nil
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return lhs, rhs
+	case token.ASSIGN:
+		if bin, ok := rhs.(*ast.BinaryExpr); ok && mentionsExpr(bin, lhs) {
+			switch bin.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO:
+				return lhs, rhs
+			}
+		}
+	}
+	return nil, nil
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isAccTarget restricts targets to identifiers and field selectors;
+// index expressions (out[k] += v under a range) rewrite each key
+// independently and are left to human judgement.
+func isAccTarget(e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		return true
+	}
+	return false
+}
+
+// targetObject resolves the accumulated variable (or field) object.
+func targetObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel]
+	}
+	return nil
+}
+
+// mentionsExpr reports whether the expression tree contains a
+// syntactic copy of target (an x = x + e self-reference).
+func mentionsExpr(e ast.Expr, target ast.Expr) bool {
+	want := types.ExprString(target)
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if expr, ok := n.(ast.Expr); ok && types.ExprString(expr) == want {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// containsReceive reports whether the expression contains a channel
+// receive.
+func containsReceive(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package floatdet_test
+
+import (
+	"testing"
+
+	"pmemsched/internal/analysis/analysistest"
+	"pmemsched/internal/analysis/floatdet"
+)
+
+func TestFloatdet(t *testing.T) {
+	analysistest.Run(t, "testdata", floatdet.Analyzer, "internal/core")
+}

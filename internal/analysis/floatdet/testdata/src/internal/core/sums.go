@@ -1,0 +1,79 @@
+// Package core is a floatdet fixture: ordered and unordered float
+// accumulation shapes.
+package core
+
+import "sort"
+
+type stats struct{ total float64 }
+
+func mapRanges(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation into sum inside a map range`
+	}
+
+	var prod float64 = 1
+	for _, v := range m {
+		prod = prod * v // want `float accumulation into prod inside a map range`
+	}
+
+	var count int
+	for range m {
+		count++ // integer accumulation is exact, any order
+	}
+
+	for _, v := range m {
+		scaled := 0.0
+		scaled += v // per-iteration local: declared inside the body
+		_ = scaled
+	}
+
+	var st stats
+	for _, v := range m {
+		st.total += v // want `float accumulation into st.total inside a map range`
+	}
+
+	// The fix idiom: sort the keys, then accumulate in fixed order.
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var ordered float64
+	for _, k := range keys {
+		ordered += m[k]
+	}
+	return sum + prod + ordered + st.total + float64(count)
+}
+
+func fanIn(ch chan float64, n int) float64 {
+	var sum float64
+	for v := range ch {
+		sum += v // want `float accumulation into sum inside a channel-range fan-in`
+	}
+
+	var drained float64
+	for i := 0; i < n; i++ {
+		drained += <-ch // want `float accumulation into drained inside a channel-receive fan-in loop`
+	}
+
+	// Deterministic fan-in: collect by index, then sum in order.
+	results := make([]float64, n)
+	for i := 0; i < n; i++ {
+		results[i] = <-ch
+	}
+	var ordered float64
+	for _, v := range results {
+		ordered += v
+	}
+	return sum + drained + ordered
+}
+
+func suppressed(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		//pmemlint:ignore floatdet fixture exercises suppression of an unordered sum
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,151 @@
+// Package jsoncontract defines an analyzer that freezes the JSON
+// report contract of internal/cluster (DESIGN.md §7). The engine's
+// goldens assert byte-identity of reports with optional subsystems
+// (interference, faults) switched off; a new always-present field
+// would silently change every golden and every downstream consumer.
+// So every exported serialized field must either be tagged omitempty
+// (absent until its subsystem is enabled) or appear in Baseline, the
+// reviewed list of deliberately always-present v1 fields.
+package jsoncontract
+
+import (
+	"go/ast"
+	"reflect"
+	"regexp"
+	"strings"
+
+	"pmemsched/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "jsoncontract",
+	Doc: `require omitempty (or a Baseline entry) on exported JSON fields of cluster report structs
+
+A named struct with json-tagged fields in internal/cluster is part of
+a serialization contract: the metrics report written by WriteJSON and
+compared byte-for-byte by the off-mode goldens, or an input document
+shape. An exported field that serializes unconditionally (no omitempty)
+grows the contract for every run, including runs with its subsystem
+disabled. Such fields must be tagged omitempty, or — when the base
+contract deliberately grows — added to jsoncontract.Baseline in the
+same change that regenerates the goldens.`,
+	Run: run,
+}
+
+// scopeRE gates the analyzer to the package whose reports are
+// golden-checked.
+var scopeRE = regexp.MustCompile(`internal/cluster$`)
+
+// Baseline is the frozen v1 contract: fields that serialize
+// unconditionally by design. Report fields here are covered by the
+// off-mode goldens; the *JSON entries are input-document shapes whose
+// fields describe the accepted file format rather than emitted output.
+// Extending this map is how the contract grows on purpose.
+var Baseline = map[string]bool{
+	// metrics.go: per-job report records (always-present core).
+	"JobRecord.ID":                true,
+	"JobRecord.Workflow":          true,
+	"JobRecord.Ranks":             true,
+	"JobRecord.Node":              true,
+	"JobRecord.Config":            true,
+	"JobRecord.ArrivalSeconds":    true,
+	"JobRecord.StartSeconds":      true,
+	"JobRecord.EndSeconds":        true,
+	"JobRecord.RunSeconds":        true,
+	"JobRecord.WaitSeconds":       true,
+	"JobRecord.TurnaroundSeconds": true,
+	"JobRecord.BoundedSlowdown":   true,
+	// metrics.go: utilization time series samples.
+	"Sample.TimeSeconds": true,
+	"Sample.CoresInUse":  true,
+	// metrics.go: run summary (always-present core).
+	"Summary.Policy":                true,
+	"Summary.Nodes":                 true,
+	"Summary.CoresPerSocket":        true,
+	"Summary.Jobs":                  true,
+	"Summary.MakespanSeconds":       true,
+	"Summary.MeanWaitSeconds":       true,
+	"Summary.MaxWaitSeconds":        true,
+	"Summary.MeanTurnaroundSeconds": true,
+	"Summary.MeanBoundedSlowdown":   true,
+	"Summary.MaxBoundedSlowdown":    true,
+	"Summary.MeanUtilization":       true,
+	"Summary.NodeUtilization":       true,
+	// faults.go: explicit outage schedule (input document shape).
+	"Outage.Node":         true,
+	"Outage.DownSeconds":  true,
+	"Outage.UpSeconds":    true,
+	"outagesJSON.Outages": true,
+	// trace.go: job trace file (input document shape).
+	"traceJSON.Jobs":              true,
+	"traceJobJSON.ArrivalSeconds": true,
+	"traceJobJSON.Workflow":       true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !scopeRE.MatchString(pass.PkgPath) {
+		return nil
+	}
+	pass.Preorder(func(n ast.Node) {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok {
+			return
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok || !hasJSONTag(st) {
+			return
+		}
+		for _, field := range st.Fields.List {
+			checkField(pass, ts.Name.Name, field)
+		}
+	})
+	return nil
+}
+
+// hasJSONTag reports whether any field of the struct carries a json
+// struct tag — the marker that the struct is a serialization shape
+// rather than internal state.
+func hasJSONTag(st *ast.StructType) bool {
+	for _, f := range st.Fields.List {
+		if tag, ok := jsonTag(f); ok && tag != "-" {
+			return true
+		}
+	}
+	return false
+}
+
+func jsonTag(f *ast.Field) (string, bool) {
+	if f.Tag == nil {
+		return "", false
+	}
+	// f.Tag.Value includes the surrounding backquotes.
+	return reflect.StructTag(strings.Trim(f.Tag.Value, "`")).Lookup("json")
+}
+
+func checkField(pass *analysis.Pass, typeName string, f *ast.Field) {
+	tag, hasTag := jsonTag(f)
+	if hasTag && (tag == "-" || hasOption(tag, "omitempty")) {
+		return
+	}
+	for _, name := range f.Names {
+		if !name.IsExported() {
+			continue
+		}
+		if Baseline[typeName+"."+name.Name] {
+			continue
+		}
+		pass.Reportf(name.Pos(), "exported JSON field %s.%s serializes unconditionally; an always-present field changes the byte layout of every report, including off-mode goldens — add omitempty, or extend jsoncontract.Baseline when the base contract deliberately grows", typeName, name.Name)
+	}
+}
+
+// hasOption reports whether the json tag carries the named option
+// (options follow the name, comma-separated).
+func hasOption(tag, opt string) bool {
+	parts := strings.Split(tag, ",")
+	for _, p := range parts[1:] {
+		if p == opt {
+			return true
+		}
+	}
+	return false
+}

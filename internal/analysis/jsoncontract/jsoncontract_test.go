@@ -1,0 +1,12 @@
+package jsoncontract_test
+
+import (
+	"testing"
+
+	"pmemsched/internal/analysis/analysistest"
+	"pmemsched/internal/analysis/jsoncontract"
+)
+
+func TestJSONContract(t *testing.T) {
+	analysistest.Run(t, "testdata", jsoncontract.Analyzer, "internal/cluster")
+}

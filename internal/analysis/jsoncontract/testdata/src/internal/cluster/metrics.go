@@ -1,0 +1,34 @@
+// Package cluster is a jsoncontract fixture: report structs with
+// baseline, omitempty, untagged and suppressed fields.
+package cluster
+
+// Summary mirrors the real report summary: baseline fields pass, a
+// new unconditional field is flagged, omitempty fields pass.
+type Summary struct {
+	Policy      string  `json:"policy"`
+	MeanStretch float64 `json:"mean_stretch,omitempty"`
+	Internal    string  `json:"-"`
+	hidden      int     `json:"hidden"`
+
+	ExtraAlways float64 `json:"extra_always"` // want `exported JSON field Summary.ExtraAlways serializes unconditionally`
+
+	Untagged float64 // want `exported JSON field Summary.Untagged serializes unconditionally`
+}
+
+// state has no json tags at all, so it is not a serialization shape.
+type state struct {
+	Count int
+	Mean  float64
+}
+
+// debugDump is a serialization shape but its one questionable field is
+// deliberately suppressed with a reasoned directive.
+type debugDump struct {
+	Policy string `json:"policy,omitempty"`
+	//pmemlint:ignore jsoncontract fixture exercises suppression of a contract field
+	AlwaysOn bool `json:"always_on"`
+}
+
+var _ = Summary{hidden: 0}
+var _ = state{}
+var _ = debugDump{}

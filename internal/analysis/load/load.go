@@ -29,11 +29,20 @@ type listPkg struct {
 	ImportPath string
 	Dir        string
 	GoFiles    []string
+	Imports    []string
 	Export     string
 	Standard   bool
 }
 
-// Packages loads and type-checks every package matching the patterns.
+// Packages loads and type-checks every package matching the patterns,
+// returning the units in dependency order: a unit appears after every
+// target unit it imports, so a fact-carrying analysis session can feed
+// on them front to back. Imports of other target units resolve to
+// their source-checked packages (not export data), which keeps
+// types.Object identity stable across units — the property the fact
+// store's object keys rely on. Ties in the topological order break by
+// import path, keeping the unit order (and so diagnostic order)
+// deterministic.
 func Packages(patterns []string) ([]*analysis.Unit, error) {
 	targets, err := goList(append([]string{"-json=ImportPath"}, patterns...))
 	if err != nil {
@@ -45,38 +54,91 @@ func Packages(patterns []string) ([]*analysis.Unit, error) {
 	}
 	// -export compiles (or reuses from the build cache) every package,
 	// giving us an export-data file per dependency for the gc importer.
-	all, err := goList(append([]string{"-deps", "-export", "-json=ImportPath,Dir,GoFiles,Export,Standard"}, patterns...))
+	all, err := goList(append([]string{"-deps", "-export", "-json=ImportPath,Dir,GoFiles,Imports,Export,Standard"}, patterns...))
 	if err != nil {
 		return nil, err
 	}
 	exports := make(map[string]string, len(all))
+	byPath := make(map[string]listPkg, len(all))
 	for _, p := range all {
+		byPath[p.ImportPath] = p
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
 	}
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+	checked := make(map[string]*types.Package)
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		f, ok := exports[path]
 		if !ok {
 			return nil, fmt.Errorf("no export data for %q", path)
 		}
 		return os.Open(f)
 	})
+	imp := sourceFirstImporter{checked: checked, base: gc}
+
+	// Schedule target units in dependency order (DFS over the target
+	// subgraph from each target in path order; the compiler guarantees
+	// the graph is acyclic, so visiting-state is only a guard against a
+	// corrupted go list answer).
+	var order []string
+	scheduled := make(map[string]bool)
+	visiting := make(map[string]bool)
+	var visit func(path string)
+	visit = func(path string) {
+		if scheduled[path] || visiting[path] {
+			return
+		}
+		visiting[path] = true
+		deps := append([]string(nil), byPath[path].Imports...)
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if isTarget[dep] && len(byPath[dep].GoFiles) > 0 {
+				visit(dep)
+			}
+		}
+		visiting[path] = false
+		scheduled[path] = true
+		order = append(order, path)
+	}
+	var paths []string
+	for _, p := range all {
+		if isTarget[p.ImportPath] && len(p.GoFiles) > 0 {
+			paths = append(paths, p.ImportPath)
+		}
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		visit(path)
+	}
 
 	var units []*analysis.Unit
-	for _, p := range all {
-		if !isTarget[p.ImportPath] || len(p.GoFiles) == 0 {
-			continue
-		}
+	for _, path := range order {
+		p := byPath[path]
 		unit, err := check(fset, imp, p.ImportPath, p.Dir, p.GoFiles)
 		if err != nil {
 			return nil, err
 		}
+		checked[path] = unit.Pkg
 		units = append(units, unit)
 	}
-	sort.Slice(units, func(i, j int) bool { return units[i].PkgPath() < units[j].PkgPath() })
 	return units, nil
+}
+
+// sourceFirstImporter resolves imports to already-source-checked target
+// packages before falling back to export data, so that a unit importing
+// another target unit sees the same *types.Package (and the same
+// objects) the analysis of that unit produced facts for.
+type sourceFirstImporter struct {
+	checked map[string]*types.Package
+	base    types.Importer
+}
+
+func (s sourceFirstImporter) Import(path string) (*types.Package, error) {
+	if pkg := s.checked[path]; pkg != nil {
+		return pkg, nil
+	}
+	return s.base.Import(path)
 }
 
 // Check parses and type-checks one package unit from explicit file

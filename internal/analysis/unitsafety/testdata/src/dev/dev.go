@@ -39,3 +39,28 @@ func Configure() {
 	d.TuneWriteGBps(13.9) // want `raw numeric literal 13\.9 passed to calibrated parameter "writeGBps"`
 	d.TuneWriteGBps(13.9) //pmemlint:ignore unitsafety calibration sentinel in a doc example
 }
+
+// Retry models a policy struct with a calibrated duration field.
+type Retry struct {
+	BackoffSeconds float64
+	Attempts       int
+}
+
+// Calibrated names in declarations must carry their unit too.
+const DefaultBoundSeconds = 10.0 // want `raw numeric literal 10\.0 initializes calibrated name "DefaultBoundSeconds"`
+
+const DerivedBoundSeconds = 10 * units.Second // derived from a unit anchor: ok
+
+var scanRateBytesPerSecond = 2.5e9 // want `raw numeric literal 2\.5e9 initializes calibrated name "scanRateBytesPerSecond"`
+
+var attempts = 3 // uncalibrated name: ok
+
+func Policies() []Retry {
+	return []Retry{
+		{BackoffSeconds: 10, Attempts: 3}, // want `raw numeric literal 10 assigned to calibrated field "BackoffSeconds"`
+		{BackoffSeconds: 10 * units.Second, Attempts: 3},
+		{BackoffSeconds: 0, Attempts: 3}, // zero means disabled: ok
+		//pmemlint:ignore unitsafety fixture exercises suppression of a raw field
+		{BackoffSeconds: 30, Attempts: int(scanRateBytesPerSecond) + int(DefaultBoundSeconds) + int(DerivedBoundSeconds)},
+	}
+}

@@ -6,6 +6,7 @@ package units
 const (
 	GBps       float64 = 1e9
 	Nanosecond float64 = 1e-9
+	Second     float64 = 1
 )
 
 // Bandwidth is a calibrated named type: literals must not be passed to

@@ -20,39 +20,91 @@ var Analyzer = &analysis.Analyzer{
 	Name: "unitsafety",
 	Doc: `flag raw numeric literals passed to calibrated parameters
 
-A call argument that is a bare numeric literal (possibly negated) is
-flagged when the corresponding parameter is calibrated: its name ends
-in GBps/MBps/KBps/Bps (a bandwidth) or Ns/Nanos (a latency), or its
+A bare numeric literal (possibly negated) is flagged when it
+initializes a calibrated quantity: a call argument whose parameter, a
+composite-literal field, or a declared const/var whose name ends in
+GBps/MBps/KBps/Bps (a bandwidth), Ns/Nanos (a latency), Seconds (a
+duration) or BytesPerSecond, or — for call arguments — whose parameter
 type is declared in an internal/units package. Write the quantity as
-value*units.Unit so the unit is visible at the call site. Zero is
-exempt — it means "disabled" in every unit system.`,
+value*units.Unit so the unit is visible at the site. Zero is exempt —
+it means "disabled" in every unit system — and so is the units package
+itself, whose job is to define the raw anchors.`,
 	Run: run,
 }
 
-// calibratedName matches parameter names that embed a unit suffix.
-var calibratedName = regexp.MustCompile(`([GMK]?Bps|Ns|Nanos)$`)
+// calibratedName matches parameter, field and declaration names that
+// embed a unit suffix. BytesPerSecond is spelled out because a plain
+// Seconds$ would not reach it; nothing here matches bare PerSocket-style
+// counts.
+var calibratedName = regexp.MustCompile(`([GMK]?Bps|Ns|Nanos|Seconds|BytesPerSecond)$`)
+
+// unitsPkgRE matches the units package itself, which by definition
+// declares the raw anchor constants (KBps float64 = 1e3) everything
+// else derives from.
+var unitsPkgRE = regexp.MustCompile(`(^|/)units$`)
 
 func run(pass *analysis.Pass) error {
+	if unitsPkgRE.MatchString(pass.PkgPath) {
+		return nil
+	}
 	pass.Preorder(func(n ast.Node) {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return
-		}
-		sig := calleeSignature(pass, call)
-		if sig == nil {
-			return
-		}
-		for i, arg := range call.Args {
-			param := paramAt(sig, i, call)
-			if param == nil || !calibrated(param) {
-				continue
-			}
-			if lit := rawLiteral(arg); lit != nil && !isZero(lit) {
-				pass.Reportf(arg.Pos(), "raw numeric literal %s passed to calibrated parameter %q; write it as value*units.Unit (see internal/units), or annotate with //pmemlint:ignore unitsafety <reason>", types.ExprString(arg), param.Name())
-			}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		case *ast.CompositeLit:
+			checkCompositeLit(pass, n)
+		case *ast.ValueSpec:
+			checkValueSpec(pass, n)
 		}
 	})
 	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sig := calleeSignature(pass, call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		param := paramAt(sig, i, call)
+		if param == nil || !calibrated(param) {
+			continue
+		}
+		if lit := rawLiteral(arg); lit != nil && !isZero(lit) {
+			pass.Reportf(arg.Pos(), "raw numeric literal %s passed to calibrated parameter %q; write it as value*units.Unit (see internal/units), or annotate with //pmemlint:ignore unitsafety <reason>", types.ExprString(arg), param.Name())
+		}
+	}
+}
+
+// checkCompositeLit flags raw literals keyed to calibrated field names,
+// e.g. RetryPolicy{BackoffSeconds: 10}.
+func checkCompositeLit(pass *analysis.Pass, lit *ast.CompositeLit) {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || !calibratedName.MatchString(key.Name) {
+			continue
+		}
+		if l := rawLiteral(kv.Value); l != nil && !isZero(l) {
+			pass.Reportf(kv.Value.Pos(), "raw numeric literal %s assigned to calibrated field %q; write it as value*units.Unit (see internal/units), or annotate with //pmemlint:ignore unitsafety <reason>", types.ExprString(kv.Value), key.Name)
+		}
+	}
+}
+
+// checkValueSpec flags raw literals initializing calibrated consts and
+// vars, e.g. const DefaultSlowdownBoundSeconds = 10.0.
+func checkValueSpec(pass *analysis.Pass, spec *ast.ValueSpec) {
+	for i, name := range spec.Names {
+		if !calibratedName.MatchString(name.Name) || i >= len(spec.Values) {
+			continue
+		}
+		if l := rawLiteral(spec.Values[i]); l != nil && !isZero(l) {
+			pass.Reportf(spec.Values[i].Pos(), "raw numeric literal %s initializes calibrated name %q; write it as value*units.Unit (see internal/units), or annotate with //pmemlint:ignore unitsafety <reason>", types.ExprString(spec.Values[i]), name.Name)
+		}
+	}
 }
 
 // calleeSignature resolves the called function's signature, if the

@@ -18,7 +18,7 @@ var Analyzer = &analysis.Analyzer{
 	Doc: `forbid wall-clock reads and unseeded randomness in kernel packages
 
 Inside internal/sim, internal/core, internal/pmem, internal/workflow,
-internal/cluster and internal/experiments,
+internal/cluster, internal/experiments and cmd/wfsched,
 calls to time.Now/Since/Until and to package-level math/rand functions
 (which draw from the process-global, randomly-seeded source) make
 results depend on when and where the process runs. Thread an explicit
@@ -30,9 +30,12 @@ rand.NewSource are therefore allowed.`,
 
 // scopeRE matches the deterministic kernel: the fluid simulator, the
 // run engine, the device model, the workflow compiler, the cluster
-// scheduler (whose virtual clock must never touch the real one), and
-// the experiment harness whose reports must be byte-reproducible.
-var scopeRE = regexp.MustCompile(`internal/(sim|core|pmem|workflow|cluster|experiments)$`)
+// scheduler (whose virtual clock must never touch the real one), the
+// experiment harness whose reports must be byte-reproducible, and the
+// wfsched CLI, which drives cluster simulations whose outputs are
+// golden-checked. cmd/fleetbench is deliberately out of scope: its
+// whole point is measuring wall time around the deterministic engine.
+var scopeRE = regexp.MustCompile(`internal/(sim|core|pmem|workflow|cluster|experiments)$|(^|/)cmd/wfsched$`)
 
 // bannedTime are the time-package functions that read the wall clock.
 var bannedTime = map[string]bool{"Now": true, "Since": true, "Until": true}

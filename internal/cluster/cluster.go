@@ -183,6 +183,8 @@ func (n *NodeView) remove(jobID int) bool {
 // overflow to +Inf, which json.Encoder rejects outright (the engine's
 // retry path hit exactly that: a backoff offset added to a huge
 // requeue time produced a +Inf arrival and broke the report export).
+//
+//pmemlint:ignore unitsafety sentinel magnitude, not a duration; any unit factor would change the overflow guard
 const noFitSeconds = 1e308
 
 // isNoFit reports whether t is the no-fit sentinel (or anything

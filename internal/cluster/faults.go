@@ -7,6 +7,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"pmemsched/internal/units"
 )
 
 // Node failure and recovery.
@@ -175,7 +177,7 @@ type RetryPolicy struct {
 // policy is given: four attempts, 10 s base backoff doubling per kill,
 // no checkpointing.
 func DefaultRetry() RetryPolicy {
-	return RetryPolicy{MaxAttempts: 4, BackoffSeconds: 10, BackoffFactor: 2}
+	return RetryPolicy{MaxAttempts: 4, BackoffSeconds: 10 * units.Second, BackoffFactor: 2}
 }
 
 func (r RetryPolicy) validate() error {

@@ -6,12 +6,13 @@ import (
 	"io"
 
 	"pmemsched/internal/trace"
+	"pmemsched/internal/units"
 )
 
 // DefaultSlowdownBoundSeconds is the conventional bounded-slowdown
 // runtime floor (Feitelson's tau = 10s): shorter jobs do not inflate
 // the slowdown metric just by being short.
-const DefaultSlowdownBoundSeconds = 10.0
+const DefaultSlowdownBoundSeconds = 10 * units.Second
 
 // JobRecord is the per-job outcome of a cluster simulation.
 type JobRecord struct {

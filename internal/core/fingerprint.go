@@ -2,8 +2,8 @@ package core
 
 import (
 	"fmt"
+	"hash"
 	"hash/fnv"
-	"io"
 
 	"pmemsched/internal/workflow"
 )
@@ -50,13 +50,15 @@ func (e Env) fingerprint() string {
 
 // writeSpecFingerprint serializes every Result-affecting field of the
 // spec in a fixed order (including Name, which Results carry verbatim).
-func writeSpecFingerprint(w io.Writer, s workflow.Spec) {
+// The destination is a hash, not a general writer: hash writes cannot
+// fail, which is what lets the fmt.Fprintf errors go unchecked.
+func writeSpecFingerprint(w hash.Hash, s workflow.Spec) {
 	fmt.Fprintf(w, "wf=%q ranks=%d iters=%d|", s.Name, s.Ranks, s.Iterations)
 	writeComponentFingerprint(w, "sim", s.Simulation)
 	writeComponentFingerprint(w, "ana", s.Analytics)
 }
 
-func writeComponentFingerprint(w io.Writer, role string, c workflow.ComponentSpec) {
+func writeComponentFingerprint(w hash.Hash, role string, c workflow.ComponentSpec) {
 	fmt.Fprintf(w, "%s=%q cit=%v cob=%v jit=%v objs=[", role, c.Name, c.ComputePerIteration, c.ComputePerObject, c.ComputeJitter)
 	for _, o := range c.Objects {
 		fmt.Fprintf(w, "%dx%d,", o.Bytes, o.CountPerRank)

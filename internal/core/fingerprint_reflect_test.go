@@ -1,8 +1,9 @@
 package core
 
 import (
+	"fmt"
+	"hash/fnv"
 	"reflect"
-	"strings"
 	"testing"
 
 	"pmemsched/internal/workflow"
@@ -102,9 +103,9 @@ func baseComponent() workflow.ComponentSpec {
 }
 
 func componentKey(c workflow.ComponentSpec) string {
-	var b strings.Builder
-	writeComponentFingerprint(&b, "sim", c)
-	return b.String()
+	h := fnv.New64a()
+	writeComponentFingerprint(h, "sim", c)
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // TestComponentFingerprintCoversEveryField mutates each exported

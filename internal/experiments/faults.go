@@ -7,6 +7,7 @@ import (
 	"pmemsched/internal/cluster"
 	"pmemsched/internal/core"
 	"pmemsched/internal/trace"
+	"pmemsched/internal/units"
 )
 
 // FaultSeed fixes the arrival trace and the failure sequence the
@@ -23,15 +24,15 @@ const FaultJobs = 24
 
 // FaultInterarrival is the synthetic mean inter-arrival time in
 // seconds: busy enough that failures usually hit running jobs.
-const FaultInterarrival = 20
+const FaultInterarrival = 20 * units.Second
 
 // FaultMTTR is the mean repair time in seconds at every failure rate.
-const FaultMTTR = 60.0
+const FaultMTTR = 60 * units.Second
 
 // FaultCheckpointSeconds is the checkpoint-restart interval the
 // checkpointing arm uses: fine-grained against the mix's runtimes (tens
 // of seconds), so most progress survives a kill.
-const FaultCheckpointSeconds = 10
+const FaultCheckpointSeconds = 10 * units.Second
 
 // FaultRates are the failure regimes (mean time between failures per
 // node, seconds). The trace spans several hundred virtual seconds, so

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Canary for the pmemlint engine-invariant analyzers: plant one known
+# violation per analyzer inside internal/cluster (the package all four
+# scope to), run pmemlint, and demand it fails with a diagnostic from
+# that analyzer. A canary that stops failing means the analyzer has
+# silently gone blind — the exact failure mode a lint gate cannot
+# detect about itself.
+#
+# Usage: lint/canary.sh /path/to/pmemlint
+set -u
+
+PMEMLINT=${1:?usage: lint/canary.sh /path/to/pmemlint}
+cd "$(dirname "$0")/.."
+
+CANARY=internal/cluster/zz_canary_test_plant.go
+trap 'rm -f "$CANARY"' EXIT
+
+fail=0
+
+# plant <name> <expected-analyzer>: reads the canary source from stdin,
+# writes it into internal/cluster, and asserts pmemlint rejects it.
+plant() {
+  local name=$1 expect=$2 out status
+  cat > "$CANARY"
+  out=$("$PMEMLINT" ./internal/cluster/ 2>&1)
+  status=$?
+  rm -f "$CANARY"
+  if [ "$status" -eq 0 ]; then
+    echo "canary $name: pmemlint passed; expected a $expect diagnostic" >&2
+    fail=1
+  elif ! printf '%s\n' "$out" | grep -q "($expect)"; then
+    echo "canary $name: pmemlint failed but not with a $expect diagnostic:" >&2
+    printf '%s\n' "$out" >&2
+    fail=1
+  else
+    echo "canary $name: ok ($expect fired)"
+  fi
+}
+
+# 1. An epoch-less completion re-post.
+plant eventorder eventorder <<'EOF'
+package cluster
+
+func zzCanaryEventorder(end float64) event {
+	return event{at: end, kind: evComplete, job: 1}
+}
+EOF
+
+# 2. A report field that serializes unconditionally.
+plant jsoncontract jsoncontract <<'EOF'
+package cluster
+
+type zzCanaryReport struct {
+	Always float64 `json:"always"`
+}
+EOF
+
+# 3. A float sum over randomized map order.
+plant floatdet floatdet <<'EOF'
+package cluster
+
+func zzCanaryFloatdet(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+EOF
+
+# 4. A silently discarded error.
+plant errflow errflow <<'EOF'
+package cluster
+
+import "os"
+
+func zzCanaryErrflow(f *os.File) {
+	f.Close()
+}
+EOF
+
+# The tree itself must still be clean after the canaries are removed.
+if ! "$PMEMLINT" ./internal/cluster/ > /dev/null 2>&1; then
+  echo "canary cleanup: internal/cluster is not clean without the plants" >&2
+  fail=1
+fi
+
+exit "$fail"
