@@ -7,70 +7,112 @@
 //
 //	recommend -workflow miniamr+matrixmult -ranks 8
 //	recommend -workflow gtc+readonly -ranks 24 -verify
+//	recommend -spec custom.json -verify
 //	recommend -suite -verify       # the full 18-workload Table II check
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error (bad flags
+// or flag combinations, rejected before any simulation runs).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
 	"pmemsched"
+	"pmemsched/internal/cli"
 	"pmemsched/internal/units"
 )
 
 func main() {
-	name := flag.String("workflow", "", "workflow name (as in wfrun -list)")
-	specPath := flag.String("spec", "", "JSON workflow spec file (alternative to -workflow)")
-	ranks := flag.Int("ranks", 16, "ranks per component")
-	verify := flag.Bool("verify", false, "run the oracle and report regret")
-	suite := flag.Bool("suite", false, "run the whole 18-workload suite")
-	parallel := flag.Int("parallel", 0, "run-engine worker pool size (0 = GOMAXPROCS)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("recommend", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	name := fs.String("workflow", "", "workflow name (as in wfrun -list)")
+	specPath := fs.String("spec", "", "JSON workflow spec file (alternative to -workflow)")
+	ranks := fs.Int("ranks", 16, "ranks per component")
+	verify := fs.Bool("verify", false, "run the oracle and report regret")
+	suite := fs.Bool("suite", false, "run the whole 18-workload suite")
+	parallel := fs.Int("parallel", 0, "run-engine worker pool size (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		cli.Sayf(stderr, "recommend: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+
+	// The three selection modes are mutually exclusive; catch every
+	// conflicting combination before touching the engine.
+	switch {
+	case *suite && (*name != "" || *specPath != ""):
+		cli.Sayln(stderr, "recommend: -suite conflicts with -workflow and -spec")
+		return 2
+	case *name != "" && *specPath != "":
+		cli.Sayln(stderr, "recommend: -workflow and -spec are alternatives; pick one")
+		return 2
+	case !*suite && *name == "" && *specPath == "":
+		cli.Sayln(stderr, "recommend: nothing selected; use -workflow, -spec or -suite")
+		return 2
+	}
+	if *ranks <= 0 {
+		cli.Sayf(stderr, "recommend: -ranks must be positive, got %d\n", *ranks)
+		return 2
+	}
 
 	rt := pmemsched.NewRunner(pmemsched.DefaultEnv(), *parallel)
 	if *suite {
-		runSuite(rt, *verify)
-		return
+		return runSuite(rt, *verify, stdout, stderr)
 	}
 
 	var wf pmemsched.Workflow
 	if *specPath != "" {
 		f, err := os.Open(*specPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "recommend:", err)
-			os.Exit(2)
+			cli.Sayln(stderr, "recommend:", err)
+			return 2
 		}
 		wf, err = pmemsched.ReadWorkflow(f)
 		//pmemlint:ignore errflow read-only file; decode errors are checked, a close error cannot lose data
 		f.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "recommend:", err)
-			os.Exit(2)
+			cli.Sayln(stderr, "recommend:", err)
+			return 2
 		}
-		report(wf, rt, *verify)
-		return
-	}
-	switch *name {
-	case "micro-64mb":
-		wf = pmemsched.MicroWorkflow(pmemsched.MicroObjectLarge, *ranks)
-	case "micro-2k":
-		wf = pmemsched.MicroWorkflow(pmemsched.MicroObjectSmall, *ranks)
-	case "gtc+readonly":
-		wf = pmemsched.GTCReadOnly(*ranks)
-	case "gtc+matrixmult":
-		wf = pmemsched.GTCMatrixMult(*ranks)
-	case "miniamr+readonly":
-		wf = pmemsched.MiniAMRReadOnly(*ranks)
-	case "miniamr+matrixmult":
-		wf = pmemsched.MiniAMRMatrixMult(*ranks)
-	default:
-		fmt.Fprintf(os.Stderr, "recommend: unknown workflow %q\n", *name)
-		os.Exit(2)
+	} else {
+		var err error
+		wf, err = workflowByName(*name, *ranks)
+		if err != nil {
+			cli.Sayln(stderr, "recommend:", err)
+			return 2
+		}
 	}
 
-	report(wf, rt, *verify)
+	return report(wf, rt, *verify, stdout, stderr)
+}
+
+// workflowByName resolves a catalog workload name.
+func workflowByName(name string, ranks int) (pmemsched.Workflow, error) {
+	switch name {
+	case "micro-64mb":
+		return pmemsched.MicroWorkflow(pmemsched.MicroObjectLarge, ranks), nil
+	case "micro-2k":
+		return pmemsched.MicroWorkflow(pmemsched.MicroObjectSmall, ranks), nil
+	case "gtc+readonly":
+		return pmemsched.GTCReadOnly(ranks), nil
+	case "gtc+matrixmult":
+		return pmemsched.GTCMatrixMult(ranks), nil
+	case "miniamr+readonly":
+		return pmemsched.MiniAMRReadOnly(ranks), nil
+	case "miniamr+matrixmult":
+		return pmemsched.MiniAMRMatrixMult(ranks), nil
+	}
+	return pmemsched.Workflow{}, fmt.Errorf("unknown workflow %q (see wfrun -list)", name)
 }
 
 // fmtRegret renders a regret fraction; NaN means the regret is
@@ -83,32 +125,33 @@ func fmtRegret(r float64) string {
 	return fmt.Sprintf("%.1f%%", r*100)
 }
 
-func report(wf pmemsched.Workflow, rt *pmemsched.Runner, verify bool) {
+func report(wf pmemsched.Workflow, rt *pmemsched.Runner, verify bool, stdout, stderr io.Writer) int {
 	out, err := rt.AutoSchedule(wf, verify)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "recommend:", err)
-		os.Exit(1)
+		cli.Sayln(stderr, "recommend:", err)
+		return 1
 	}
 	rec := out.Recommendation
-	fmt.Printf("workflow:  %s\n", wf)
-	fmt.Printf("features:  %s\n", rec.Features)
-	fmt.Printf("rule:      Table II row %d (%s)\n", rec.Row.ID, rec.Row.Illustrative)
-	fmt.Printf("recommend: %s\n", rec.Config.Label())
-	fmt.Printf("runtime:   %s\n", units.FormatSeconds(out.Chosen.TotalSeconds))
+	cli.Sayf(stdout, "workflow:  %s\n", wf)
+	cli.Sayf(stdout, "features:  %s\n", rec.Features)
+	cli.Sayf(stdout, "rule:      Table II row %d (%s)\n", rec.Row.ID, rec.Row.Illustrative)
+	cli.Sayf(stdout, "recommend: %s\n", rec.Config.Label())
+	cli.Sayf(stdout, "runtime:   %s\n", units.FormatSeconds(out.Chosen.TotalSeconds))
 	if verify {
-		fmt.Printf("oracle:    %s (%s)\n", out.Oracle.Best.Config.Label(),
+		cli.Sayf(stdout, "oracle:    %s (%s)\n", out.Oracle.Best.Config.Label(),
 			units.FormatSeconds(out.Oracle.Best.TotalSeconds))
-		fmt.Printf("regret:    %s\n", fmtRegret(out.Regret))
+		cli.Sayf(stdout, "regret:    %s\n", fmtRegret(out.Regret))
 	}
+	return 0
 }
 
-func runSuite(rt *pmemsched.Runner, verify bool) {
+func runSuite(rt *pmemsched.Runner, verify bool, stdout, stderr io.Writer) int {
 	matched, total := 0, 0
 	for _, wf := range pmemsched.Suite() {
 		out, err := rt.AutoSchedule(wf, verify)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "recommend:", err)
-			os.Exit(1)
+			cli.Sayln(stderr, "recommend:", err)
+			return 1
 		}
 		total++
 		line := fmt.Sprintf("%-28s rule #%-2d -> %-7s", wf.Name,
@@ -124,9 +167,10 @@ func runSuite(rt *pmemsched.Runner, verify bool) {
 				line += fmt.Sprintf("  oracle %-7s regret %5.1f%%", out.Oracle.Best.Config.Label(), out.Regret*100)
 			}
 		}
-		fmt.Println(line)
+		cli.Sayln(stdout, line)
 	}
 	if verify {
-		fmt.Printf("matched oracle: %d/%d\n", matched, total)
+		cli.Sayf(stdout, "matched oracle: %d/%d\n", matched, total)
 	}
+	return 0
 }

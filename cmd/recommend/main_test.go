@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pmemsched"
+)
+
+// TestRunUsageErrors checks every invalid flag combination is rejected
+// with exit code 2 before any simulation runs.
+func TestRunUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // stderr substring
+	}{
+		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
+		{"positional args", []string{"-workflow", "micro-2k", "classify"}, "unexpected arguments"},
+		{"nothing selected", nil, "nothing selected"},
+		{"workflow and spec", []string{"-workflow", "micro-2k", "-spec", "x.json"}, "pick one"},
+		{"suite and workflow", []string{"-suite", "-workflow", "micro-2k"}, "-suite conflicts"},
+		{"suite and spec", []string{"-suite", "-spec", "x.json"}, "-suite conflicts"},
+		{"zero ranks", []string{"-workflow", "micro-2k", "-ranks", "0"}, "-ranks must be positive"},
+		{"negative ranks", []string{"-workflow", "micro-2k", "-ranks", "-4"}, "-ranks must be positive"},
+		{"unknown workflow", []string{"-workflow", "hpl"}, `unknown workflow "hpl"`},
+		{"missing spec file", []string{"-spec", "/nonexistent/spec.json"}, "no such file"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 2 {
+				t.Fatalf("exit code %d, want 2 (stderr %q)", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Errorf("stderr %q does not mention %q", stderr.String(), tc.want)
+			}
+			if stdout.Len() != 0 {
+				t.Errorf("usage error leaked output to stdout: %q", stdout.String())
+			}
+		})
+	}
+}
+
+// TestRunBadSpecFile checks a malformed spec file is a usage error,
+// not a crash.
+func TestRunBadSpecFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-spec", path}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code %d, want 2 (stderr %q)", code, stderr.String())
+	}
+}
+
+// TestRunNamedWorkflow classifies one catalog workload end to end and
+// checks the report shape.
+func TestRunNamedWorkflow(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-workflow", "micro-2k", "-ranks", "4"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, stderr %q", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"workflow:", "features:", "rule:", "recommend:", "runtime:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunSpecMatchesNamed feeds the same workload through -spec and
+// -workflow; the reports must agree.
+func TestRunSpecMatchesNamed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spec.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pmemsched.WriteWorkflow(f, pmemsched.GTCReadOnly(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var byName, bySpec, stderr bytes.Buffer
+	if code := run([]string{"-workflow", "gtc+readonly", "-ranks", "4"}, &byName, &stderr); code != 0 {
+		t.Fatalf("named run exit code %d, stderr %q", code, stderr.String())
+	}
+	if code := run([]string{"-spec", path}, &bySpec, &stderr); code != 0 {
+		t.Fatalf("spec run exit code %d, stderr %q", code, stderr.String())
+	}
+	if byName.String() != bySpec.String() {
+		t.Errorf("-spec diverged from -workflow:\n--- named\n%s--- spec\n%s", byName.String(), bySpec.String())
+	}
+}

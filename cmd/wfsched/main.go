@@ -15,14 +15,20 @@
 //	wfsched -faults -checkpoint 300      # ...with checkpoint-restart every 300 standalone-seconds
 //	wfsched -fault-schedule outages.json # explicit outage schedule (see internal/cluster.ReadOutages)
 //	wfsched -dump-trace trace.json       # write the generated trace for reuse
+//
+// Exit codes: 0 success, 1 runtime failure (simulation or output), 2
+// usage error (bad flags or flag combinations, rejected before any
+// simulation runs).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"pmemsched"
+	"pmemsched/internal/cli"
 	"pmemsched/internal/cluster"
 	"pmemsched/internal/core"
 	"pmemsched/internal/stack"
@@ -32,43 +38,67 @@ import (
 )
 
 func main() {
-	tracePath := flag.String("trace", "", "JSON job trace (default: a synthetic trace, see -jobs)")
-	jobs := flag.Int("jobs", 0, "synthetic trace size; 0 = the bundled 18-workload suite trace (one of each)")
-	interarrival := flag.Float64("interarrival", 60, "synthetic mean inter-arrival time in seconds (Poisson arrivals)")
-	nodes := flag.Int("nodes", 2, "cluster size")
-	policyName := flag.String("policy", "pmem-aware", "scheduling policy: fcfs, easy, pmem-aware, easy-i or pmem-aware-i")
-	configName := flag.String("config", "S-LocW", "fixed site-wide configuration for fcfs/easy (S-LocW, S-LocR, P-LocW, P-LocR)")
-	seed := flag.Int64("seed", 1, "synthetic trace seed (same seed = byte-identical trace and report)")
-	parallel := flag.Int("parallel", 0, "run-engine worker pool size (0 = GOMAXPROCS)")
-	format := flag.String("format", "text", "output format: text, csv or json")
-	stackName := flag.String("stack", "nova", "storage stack: nova or nvstream")
-	dumpTrace := flag.String("dump-trace", "", "also write the job trace as JSON to this path")
-	interference := flag.Bool("interference", false, "model cross-job PMEM bandwidth contention on shared nodes (Optane budgets)")
-	faults := flag.Bool("faults", false, "model node failures: random MTBF/MTTR outages seeded from -seed (see -mtbf, -mttr)")
-	mtbf := flag.Float64("mtbf", 3600, "mean time between failures per node, seconds (with -faults)")
-	mttr := flag.Float64("mttr", 120, "mean repair time per node, seconds (with -faults)")
-	faultSchedule := flag.String("fault-schedule", "", "explicit JSON outage schedule; implies -faults and overrides -mtbf/-mttr")
-	retries := flag.Int("retries", 0, "max attempts per job under faults; 0 = the default policy (4)")
-	backoff := flag.Float64("backoff", -1, "base requeue backoff in seconds, doubling per kill; negative = default (10)")
-	checkpoint := flag.Float64("checkpoint", 0, "checkpoint-restart interval in standalone-seconds; 0 = restart from scratch")
-	stream := flag.Bool("stream", false, "stream the trace through the engine (constant memory; -trace files must already be sorted by arrival)")
-	summaryOnly := flag.Bool("summary-only", false, "aggregate on the fly and emit only the summary (constant memory; fleet-scale runs)")
-	dedupSamples := flag.Bool("dedup-samples", false, "drop consecutive identical utilization samples from the series")
-	incrementalReflow := flag.Bool("incremental-reflow", false, "socket-local incremental interference reflow (bounded per-event work; last-ulp fp drift vs the exact reflow)")
-	linearScan := flag.Bool("linear-scan", false, "disable the free-capacity index; restore the pre-fleet all-nodes scans (A/B benchmarking)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wfsched", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tracePath := fs.String("trace", "", "JSON job trace (default: a synthetic trace, see -jobs)")
+	jobs := fs.Int("jobs", 0, "synthetic trace size; 0 = the bundled 18-workload suite trace (one of each)")
+	interarrival := fs.Float64("interarrival", 60, "synthetic mean inter-arrival time in seconds (Poisson arrivals)")
+	nodes := fs.Int("nodes", 2, "cluster size")
+	policyName := fs.String("policy", "pmem-aware", "scheduling policy: fcfs, easy, pmem-aware, easy-i or pmem-aware-i")
+	configName := fs.String("config", "S-LocW", "fixed site-wide configuration for fcfs/easy (S-LocW, S-LocR, P-LocW, P-LocR)")
+	seed := fs.Int64("seed", 1, "synthetic trace seed (same seed = byte-identical trace and report)")
+	parallel := fs.Int("parallel", 0, "run-engine worker pool size (0 = GOMAXPROCS)")
+	format := fs.String("format", "text", "output format: text, csv or json")
+	stackName := fs.String("stack", "nova", "storage stack: nova or nvstream")
+	dumpTrace := fs.String("dump-trace", "", "also write the job trace as JSON to this path")
+	interference := fs.Bool("interference", false, "model cross-job PMEM bandwidth contention on shared nodes (Optane budgets)")
+	faults := fs.Bool("faults", false, "model node failures: random MTBF/MTTR outages seeded from -seed (see -mtbf, -mttr)")
+	mtbf := fs.Float64("mtbf", 3600, "mean time between failures per node, seconds (with -faults)")
+	mttr := fs.Float64("mttr", 120, "mean repair time per node, seconds (with -faults)")
+	faultSchedule := fs.String("fault-schedule", "", "explicit JSON outage schedule; implies -faults and overrides -mtbf/-mttr")
+	retries := fs.Int("retries", 0, "max attempts per job under faults; 0 = the default policy (4)")
+	backoff := fs.Float64("backoff", -1, "base requeue backoff in seconds, doubling per kill; negative = default (10)")
+	checkpoint := fs.Float64("checkpoint", 0, "checkpoint-restart interval in standalone-seconds; 0 = restart from scratch")
+	stream := fs.Bool("stream", false, "stream the trace through the engine (constant memory; -trace files must already be sorted by arrival)")
+	summaryOnly := fs.Bool("summary-only", false, "aggregate on the fly and emit only the summary (constant memory; fleet-scale runs)")
+	dedupSamples := fs.Bool("dedup-samples", false, "drop consecutive identical utilization samples from the series")
+	incrementalReflow := fs.Bool("incremental-reflow", false, "socket-local incremental interference reflow (bounded per-event work; last-ulp fp drift vs the exact reflow)")
+	linearScan := fs.Bool("linear-scan", false, "disable the free-capacity index; restore the pre-fleet all-nodes scans (A/B benchmarking)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		cli.Sayf(stderr, "wfsched: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+
+	// Validate everything derivable from flags alone before any
+	// simulation runs: a typo'd -format used to surface only after
+	// minutes of simulated work.
+	switch *format {
+	case "text", "csv", "json":
+	default:
+		cli.Sayf(stderr, "wfsched: unknown format %q (want text, csv or json)\n", *format)
+		return 2
+	}
 	env, err := envFor(*stackName)
 	if err != nil {
-		fatal(err)
+		cli.Sayln(stderr, "wfsched:", err)
+		return 2
 	}
 	fixed, err := core.ParseConfig(*configName)
 	if err != nil {
-		fatal(err)
+		cli.Sayln(stderr, "wfsched:", err)
+		return 2
 	}
 	policy, err := cluster.ParsePolicy(*policyName, fixed)
 	if err != nil {
-		fatal(err)
+		cli.Sayln(stderr, "wfsched:", err)
+		return 2
 	}
 
 	rt := core.NewRunner(env, *parallel)
@@ -87,7 +117,8 @@ func main() {
 		opt.Interference = cluster.DefaultInterference()
 	}
 	if err := faultOptions(&opt, *faults, *faultSchedule, *mtbf, *mttr, *seed, *retries, *backoff, *checkpoint); err != nil {
-		fatal(err)
+		cli.Sayln(stderr, "wfsched:", err)
+		return 2
 	}
 
 	var metrics *cluster.Metrics
@@ -95,55 +126,68 @@ func main() {
 		// Streaming keeps the whole trace out of memory, which is the
 		// point — so there is no materialized trace to dump.
 		if *dumpTrace != "" {
-			fatal(fmt.Errorf("-dump-trace needs a materialized trace; drop -stream"))
+			cli.Sayln(stderr, "wfsched: -dump-trace needs a materialized trace; drop -stream")
+			return 2
 		}
 		src, done, err := selectSource(*tracePath, *jobs, *interarrival, *seed)
 		if err != nil {
-			fatal(err)
+			cli.Sayln(stderr, "wfsched:", err)
+			return 2
 		}
 		metrics, err = cluster.SimulateStream(src, opt)
 		if cerr := done(); err == nil {
 			err = cerr
 		}
 		if err != nil {
-			fatal(err)
+			cli.Sayln(stderr, "wfsched:", err)
+			return 1
 		}
 	} else {
 		tr, err := selectTrace(*tracePath, *jobs, *interarrival, *seed)
 		if err != nil {
-			fatal(err)
+			cli.Sayln(stderr, "wfsched:", err)
+			return 2
 		}
 		if *dumpTrace != "" {
-			f, err := os.Create(*dumpTrace)
-			if err != nil {
-				fatal(err)
-			}
-			if err := cluster.WriteTrace(f, tr); err != nil {
-				fatal(err)
-			}
-			if err := f.Close(); err != nil {
-				fatal(err)
+			if err := dumpTraceFile(*dumpTrace, tr); err != nil {
+				cli.Sayln(stderr, "wfsched:", err)
+				return 1
 			}
 		}
 		metrics, err = cluster.Simulate(tr, opt)
 		if err != nil {
-			fatal(err)
+			cli.Sayln(stderr, "wfsched:", err)
+			return 1
 		}
 	}
 
 	switch *format {
 	case "text":
-		err = metrics.Render(os.Stdout)
+		err = metrics.Render(stdout)
 	case "csv":
-		err = metrics.WriteCSV(os.Stdout)
+		err = metrics.WriteCSV(stdout)
 	case "json":
-		err = metrics.WriteJSON(os.Stdout)
-	default:
-		err = fmt.Errorf("unknown format %q (want text, csv or json)", *format)
+		err = metrics.WriteJSON(stdout)
 	}
 	if err != nil {
-		fatal(err)
+		cli.Sayln(stderr, "wfsched:", err)
+		return 1
 	}
+	return 0
+}
+
+// dumpTraceFile writes the materialized trace as JSON.
+func dumpTraceFile(path string, tr cluster.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := cluster.WriteTrace(f, tr); err != nil {
+		//pmemlint:ignore errflow the write error is being reported; a close error on top cannot change the verdict
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // selectTrace resolves the job trace the flags ask for: a JSON file, a
@@ -253,9 +297,4 @@ func envFor(name string) (core.Env, error) {
 		return env, fmt.Errorf("unknown stack %q (want nova or nvstream)", name)
 	}
 	return env, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "wfsched:", err)
-	os.Exit(2)
 }

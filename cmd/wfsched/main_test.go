@@ -1,9 +1,89 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// TestRunUsageErrors drives run() through every flag-validation path
+// and checks each rejects with exit code 2 before any simulation work,
+// with a message naming the offending flag.
+func TestRunUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // stderr substring
+	}{
+		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
+		{"positional args", []string{"simulate"}, "unexpected arguments"},
+		{"unknown format", []string{"-format", "xml"}, `unknown format "xml"`},
+		{"unknown stack", []string{"-stack", "zfs"}, "unknown stack"},
+		{"unknown config", []string{"-config", "X-LocW"}, "configuration"},
+		{"unknown policy", []string{"-policy", "sjf"}, "unknown"},
+		{"negative jobs", []string{"-jobs", "-5"}, "-jobs must be non-negative"},
+		{"negative jobs streaming", []string{"-jobs", "-5", "-stream"}, "-jobs must be non-negative"},
+		{"retries without faults", []string{"-retries", "3"}, "need -faults"},
+		{"checkpoint without faults", []string{"-checkpoint", "300"}, "need -faults"},
+		{"dump-trace with stream", []string{"-stream", "-dump-trace", "x.json"}, "drop -stream"},
+		{"missing trace file", []string{"-trace", "/nonexistent/trace.json"}, "no such file"},
+		{"missing fault schedule", []string{"-fault-schedule", "/nonexistent/outages.json"}, "no such file"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 2 {
+				t.Fatalf("exit code %d, want 2 (stderr %q)", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Errorf("stderr %q does not mention %q", stderr.String(), tc.want)
+			}
+			if stdout.Len() != 0 {
+				t.Errorf("usage error leaked output to stdout: %q", stdout.String())
+			}
+		})
+	}
+}
+
+// TestRunSmallTraceJSON runs a tiny synthetic trace end to end and
+// checks the JSON report parses and covers every job.
+func TestRunSmallTraceJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-jobs", "2", "-format", "json"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, stderr %q", code, stderr.String())
+	}
+	var report struct {
+		Jobs []json.RawMessage `json:"jobs"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &report); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, stdout.String())
+	}
+	if len(report.Jobs) != 2 {
+		t.Errorf("report covers %d jobs, want 2", len(report.Jobs))
+	}
+}
+
+// TestRunDumpTraceRoundTrip dumps a synthetic trace and feeds the file
+// back through -trace; the reports must be byte-identical.
+func TestRunDumpTraceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var first, second, stderr bytes.Buffer
+	if code := run([]string{"-jobs", "3", "-seed", "7", "-format", "csv", "-dump-trace", path}, &first, &stderr); code != 0 {
+		t.Fatalf("dump run exit code %d, stderr %q", code, stderr.String())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("-dump-trace wrote nothing: %v", err)
+	}
+	if code := run([]string{"-trace", path, "-format", "csv"}, &second, &stderr); code != 0 {
+		t.Fatalf("replay run exit code %d, stderr %q", code, stderr.String())
+	}
+	if first.String() != second.String() {
+		t.Errorf("replay diverged from the original run:\n--- original\n%s--- replay\n%s", first.String(), second.String())
+	}
+}
 
 // TestSelectTraceRejectsNegativeJobs is the regression test for the
 // silent fall-through bug: -jobs -5 used to select the bundled suite

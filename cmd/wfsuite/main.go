@@ -99,8 +99,8 @@ func main() {
 	// code here.
 	if *stats {
 		s := rt.Stats()
-		fmt.Fprintf(os.Stderr, "wfsuite: run engine: %d runs (%d cache hits, %d misses, %d in-flight joins), %d workers\n",
-			s.Runs(), s.Hits, s.Misses, s.Inflight, rt.Workers())
+		fmt.Fprintf(os.Stderr, "wfsuite: run engine: %d runs (%d cache hits, %d misses, %d in-flight joins, %.1f%% hit rate), %d cached entries, %d workers\n",
+			s.Runs(), s.Hits, s.Misses, s.Inflight, s.HitRate()*100, s.Entries, rt.Workers())
 	}
 }
 

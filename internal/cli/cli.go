@@ -1,0 +1,18 @@
+// Package cli holds the one helper every command-line front end
+// shares: writing human-facing lines to a stdout/stderr stream.
+package cli
+
+import (
+	"fmt"
+	"io"
+)
+
+// Sayln writes one line to a CLI stream. A write failure on a
+// command's stdout or stderr (a closed pipe, usually) has no recovery
+// path and nowhere further to report, so the result is deliberately
+// discarded. Call sites producing a command's actual deliverable — a
+// report, a JSON document — should write and check directly instead.
+func Sayln(w io.Writer, a ...any) { _, _ = fmt.Fprintln(w, a...) }
+
+// Sayf is Sayln's Printf-shaped sibling (no implicit newline).
+func Sayf(w io.Writer, format string, a ...any) { _, _ = fmt.Fprintf(w, format, a...) }

@@ -67,6 +67,25 @@ func newFreeIndex(nodes, cores int) *freeIndex {
 	return ix
 }
 
+// add appends one fresh (fully free) node and returns its ID. The
+// incremental State store registers nodes one at a time, so the index
+// must grow in place: the per-node free array gains a slot and every
+// bucket bitset gains a word when the node count crosses a 64
+// boundary. Never called while journaling (node registration is not a
+// policy pass).
+func (ix *freeIndex) add() int {
+	id := len(ix.free)
+	ix.free = append(ix.free, ix.cores)
+	words := (id + 64) / 64
+	for f := range ix.buckets {
+		for len(ix.buckets[f]) < words {
+			ix.buckets[f] = append(ix.buckets[f], 0)
+		}
+	}
+	ix.buckets[ix.cores].set(id)
+	return id
+}
+
 // setFree moves the node to the bucket for f free cores.
 func (ix *freeIndex) setFree(node, f int) {
 	old := ix.free[node]

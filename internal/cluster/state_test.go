@@ -1,0 +1,372 @@
+package cluster
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"pmemsched/internal/core"
+	"pmemsched/internal/workflow"
+	"pmemsched/internal/workloads"
+)
+
+// variedEst is a deterministic canned cost model whose durations and
+// recommendations vary by workflow and configuration, so the
+// State-vs-Simulate parity test exercises genuinely different
+// placements per policy without running real simulations.
+type variedEst struct{}
+
+func (variedEst) Estimate(wf workflow.Spec, cfg core.Config) (float64, error) {
+	base := float64(len(wf.Name)*7+wf.Ranks*13) / 3
+	for i, c := range core.Configs {
+		if c == cfg {
+			return base * (1 + float64(i)*0.25), nil
+		}
+	}
+	return base, nil
+}
+
+func (variedEst) Recommend(wf workflow.Spec) (core.Config, error) {
+	return core.Configs[(len(wf.Name)+wf.Ranks)%len(core.Configs)], nil
+}
+
+func (variedEst) Profile(workflow.Spec, core.Config) (JobProfile, error) {
+	return JobProfile{}, nil
+}
+
+// replayThroughState submits every trace job into a fresh State (as a
+// future arrival) and advances past the horizon, returning the store.
+func replayThroughState(t *testing.T, tr Trace, pol Policy, nodes, cores int) *State {
+	t.Helper()
+	st, err := NewState(StateOptions{Policy: pol, Estimator: variedEst{}, CoresPerSocket: cores})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nodes; i++ {
+		st.AddNode()
+	}
+	for _, j := range tr.Jobs {
+		if _, err := st.Submit(j.Workflow, j.ArrivalSeconds); err != nil {
+			t.Fatalf("submit job %d: %v", j.ID, err)
+		}
+	}
+	if _, err := st.AdvanceTo(math.MaxFloat64 / 2); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestStateMatchesSimulate: replaying a trace through the incremental
+// store must reproduce the batch engine's placements exactly — same
+// node, configuration, start and end per job, for every policy.
+func TestStateMatchesSimulate(t *testing.T) {
+	tr, err := SuiteTrace(7, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []Policy{FCFS(core.SLocW), EASY(core.PLocR), PMEMAware()} {
+		m, err := Simulate(tr, Options{Nodes: 2, CoresPerSocket: 28, Policy: pol, Estimator: variedEst{}})
+		if err != nil {
+			t.Fatalf("%s: Simulate: %v", pol.Name(), err)
+		}
+		st := replayThroughState(t, tr, pol, 2, 28)
+		for _, rec := range m.Records {
+			js, ok := st.Job(rec.ID)
+			if !ok {
+				t.Fatalf("%s: state lost job %d", pol.Name(), rec.ID)
+			}
+			if js.Phase != JobDone {
+				t.Errorf("%s: job %d phase %s, want done", pol.Name(), rec.ID, js.Phase)
+			}
+			if js.Node != rec.Node || js.Config != rec.Config ||
+				js.StartSeconds != rec.StartSeconds || js.EndSeconds != rec.EndSeconds {
+				t.Errorf("%s: job %d: state (node %d cfg %s start %g end %g) != engine (node %d cfg %s start %g end %g)",
+					pol.Name(), rec.ID, js.Node, js.Config, js.StartSeconds, js.EndSeconds,
+					rec.Node, rec.Config, rec.StartSeconds, rec.EndSeconds)
+			}
+		}
+	}
+}
+
+// TestStateCraftedBackfill drives the hand-computed EASY scenario
+// through the store and checks the decision-by-decision outputs of
+// Schedule/AdvanceTo, including the backfill hold on job D.
+func TestStateCraftedBackfill(t *testing.T) {
+	tr, est := craftedTrace()
+	st, err := NewState(StateOptions{Policy: EASY(core.SLocW), Estimator: est, CoresPerSocket: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AddNode()
+	for _, j := range tr.Jobs {
+		if _, err := st.Submit(j.Workflow, j.ArrivalSeconds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step, err := st.AdvanceTo(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// By t=3: A started at 0, C backfilled at 2, B blocked, D held.
+	if len(step.Placed) != 2 || step.Placed[0].JobID != 0 || step.Placed[1].JobID != 2 {
+		t.Fatalf("placements by t=3: %+v, want jobs 0 then 2", step.Placed)
+	}
+	if got := st.Snapshot(); !reflect.DeepEqual(got.Queue, []int{1, 3}) {
+		t.Fatalf("queue at t=3: %v, want [1 3]", got.Queue)
+	}
+	step, err = st.AdvanceTo(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C ends at 7 (D must stay held), A ends at 10, B starts at 10.
+	if len(step.Completed) != 2 || step.Completed[0].ID != 2 || step.Completed[1].ID != 0 {
+		t.Fatalf("completions by t=10: %+v, want jobs 2 then 0", step.Completed)
+	}
+	// B takes the whole node at its t=10 reservation; D still waits.
+	if len(step.Placed) != 1 || step.Placed[0].JobID != 1 {
+		t.Fatalf("placements by t=10: %+v, want job 1 only", step.Placed)
+	}
+	if b, _ := st.Job(1); b.StartSeconds != 10 {
+		t.Errorf("B started at %g, want 10", b.StartSeconds)
+	}
+	// D fits once B completes at t=18.
+	step, err = st.AdvanceTo(18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(step.Placed) != 1 || step.Placed[0].JobID != 3 || step.Placed[0].StartSeconds != 18 {
+		t.Fatalf("placements by t=18: %+v, want job 3 at t=18", step.Placed)
+	}
+}
+
+// TestStateWaitsWithoutNodes: a submitted job queues until a node
+// registers — the one deliberate divergence from Simulate, which
+// rejects a nodeless cluster outright.
+func TestStateWaitsWithoutNodes(t *testing.T) {
+	_, est := craftedTrace()
+	st, err := NewState(StateOptions{Policy: EASY(core.SLocW), Estimator: est, CoresPerSocket: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := st.Submit(workloads.GTCReadOnly(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err := st.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(step.Placed) != 0 {
+		t.Fatalf("placed %v with no nodes registered", step.Placed)
+	}
+	if st.AddNode() != 0 {
+		t.Fatal("first node ID != 0")
+	}
+	step, err = st.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(step.Placed) != 1 || step.Placed[0].JobID != id {
+		t.Fatalf("after AddNode: placed %+v, want job %d", step.Placed, id)
+	}
+}
+
+// TestStateZeroDurationSettles: a zero-duration placement completes at
+// the same instant and frees the queue behind it within one Schedule
+// call, mirroring the engine's same-instant event cascade.
+func TestStateZeroDurationSettles(t *testing.T) {
+	a := workloads.GTCReadOnly(6)
+	est := fakeEst{dur: map[string]float64{a.Name: 0}}
+	st, err := NewState(StateOptions{Policy: FCFS(core.SLocW), Estimator: est, CoresPerSocket: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AddNode()
+	for i := 0; i < 3; i++ {
+		if _, err := st.Submit(a, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step, err := st.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(step.Placed) != 3 || len(step.Completed) != 3 {
+		t.Fatalf("placed %d completed %d, want 3 and 3", len(step.Placed), len(step.Completed))
+	}
+	if st.Now() != 0 {
+		t.Errorf("clock moved to %g during a same-instant settle", st.Now())
+	}
+}
+
+// TestStateArrivalClamping: past arrivals clamp to the clock, future
+// arrivals park until AdvanceTo reaches them, and the clock cannot run
+// backwards.
+func TestStateArrivalClamping(t *testing.T) {
+	tr, est := craftedTrace()
+	st, err := NewState(StateOptions{Policy: FCFS(core.SLocW), Estimator: est, CoresPerSocket: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AddNode()
+	if _, err := st.AdvanceTo(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AdvanceTo(4); err == nil {
+		t.Fatal("AdvanceTo accepted a backwards clock move")
+	}
+	past, err := st.Submit(tr.Jobs[0].Workflow, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js, _ := st.Job(past); js.ArrivalSeconds != 5 {
+		t.Errorf("past arrival recorded as %g, want clamped to 5", js.ArrivalSeconds)
+	}
+	fut, err := st.Submit(tr.Jobs[2].Workflow, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js, _ := st.Job(fut); js.Phase != JobFuture {
+		t.Errorf("future job phase %s, want %s", js.Phase, JobFuture)
+	}
+	if _, err := st.AdvanceTo(30); err != nil {
+		t.Fatal(err)
+	}
+	if js, _ := st.Job(fut); js.Phase == JobFuture {
+		t.Error("future job still parked after the clock passed its arrival")
+	}
+}
+
+// TestStateSubmitValidation: invalid workflows and socket-overflowing
+// rank counts are rejected at submission.
+func TestStateSubmitValidation(t *testing.T) {
+	_, est := craftedTrace()
+	st, err := NewState(StateOptions{Policy: FCFS(core.SLocW), Estimator: est, CoresPerSocket: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Submit(workflow.Spec{}, 0); err == nil {
+		t.Error("Submit accepted an invalid workflow")
+	}
+	if _, err := st.Submit(workloads.GTCReadOnly(7), 0); err == nil {
+		t.Error("Submit accepted 7 ranks on 6-core sockets")
+	}
+}
+
+// TestStateCandidates: the filter query lists fitting nodes in
+// ascending ID order and honors the cap.
+func TestStateCandidates(t *testing.T) {
+	a := workloads.GTCReadOnly(4)
+	est := fakeEst{dur: map[string]float64{a.Name: 50}}
+	st, err := NewState(StateOptions{Policy: FCFS(core.SLocW), Estimator: est, CoresPerSocket: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		st.AddNode()
+	}
+	if got := st.Candidates(4, 0); len(got) != stateCandidateCap || got[0] != 0 {
+		t.Fatalf("Candidates(4, 0) = %v, want %d ascending IDs from 0", got, stateCandidateCap)
+	}
+	if got := st.Candidates(4, 3); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("Candidates(4, 3) = %v, want [0 1 2]", got)
+	}
+	// Fill node 0; it must drop out of the candidate set.
+	if _, err := st.Submit(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Schedule(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Candidates(4, 3); !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("Candidates(4, 3) after filling node 0 = %v, want [1 2 3]", got)
+	}
+}
+
+// TestStatePlacedCandidates: each committed placement carries the
+// pre-pass filter evidence.
+func TestStatePlacedCandidates(t *testing.T) {
+	a := workloads.GTCReadOnly(4)
+	est := fakeEst{dur: map[string]float64{a.Name: 50}}
+	st, err := NewState(StateOptions{Policy: FCFS(core.SLocW), Estimator: est, CoresPerSocket: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AddNode()
+	st.AddNode()
+	if _, err := st.Submit(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	step, err := st.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(step.Placed) != 1 {
+		t.Fatalf("placed %d jobs, want 1", len(step.Placed))
+	}
+	if p := step.Placed[0]; p.Node != 0 || !reflect.DeepEqual(p.Candidates, []int{0, 1}) {
+		t.Fatalf("placement %+v: want node 0 with candidates [0 1]", p)
+	}
+}
+
+// TestIndexAdd: the grown index answers first-fit queries identically
+// to a linear scan across the 64-bit bitset word boundary.
+func TestIndexAdd(t *testing.T) {
+	ix := newFreeIndex(0, 6)
+	if got := ix.firstFit(1); got != -1 {
+		t.Fatalf("empty index firstFit = %d, want -1", got)
+	}
+	for i := 0; i < 130; i++ {
+		if id := ix.add(); id != i {
+			t.Fatalf("add() returned %d, want %d", id, i)
+		}
+	}
+	// Knock nodes to varied free levels and cross-check against the
+	// free array directly.
+	for i := 0; i < 130; i++ {
+		ix.setFree(i, i%7)
+	}
+	for ranks := 0; ranks <= 6; ranks++ {
+		want := -1
+		for i := 0; i < 130; i++ {
+			if ix.free[i] >= ranks {
+				want = i
+				break
+			}
+		}
+		if got := ix.firstFit(ranks); got != want {
+			t.Errorf("firstFit(%d) = %d, want %d", ranks, got, want)
+		}
+	}
+}
+
+// TestStateSnapshotIsDetached: mutating the store after Snapshot must
+// not change the snapshot.
+func TestStateSnapshotIsDetached(t *testing.T) {
+	tr, est := craftedTrace()
+	st, err := NewState(StateOptions{Policy: EASY(core.SLocW), Estimator: est, CoresPerSocket: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AddNode()
+	for _, j := range tr.Jobs {
+		if _, err := st.Submit(j.Workflow, j.ArrivalSeconds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.AdvanceTo(3); err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Snapshot()
+	queue := append([]int(nil), snap.Queue...)
+	running := len(snap.Nodes[0].Running)
+	if _, err := st.AdvanceTo(100); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap.Queue, queue) || len(snap.Nodes[0].Running) != running {
+		t.Fatal("snapshot aliased live store state")
+	}
+	if snap.Submitted != 4 || snap.Completed != 0 || snap.Running != 2 {
+		t.Fatalf("snapshot at t=3: %+v, want 4 submitted / 2 running / 0 completed", snap)
+	}
+}

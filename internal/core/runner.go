@@ -31,10 +31,25 @@ type RunnerStats struct {
 	// Inflight joined an identical execution already in progress
 	// instead of duplicating it.
 	Inflight uint64
+	// Entries is the number of memoized results resident in the cache
+	// (completed or executing), a direct memory-footprint signal for
+	// long-running services.
+	Entries uint64
 }
 
 // Runs returns the total requests the engine answered.
 func (s RunnerStats) Runs() uint64 { return s.Hits + s.Misses + s.Inflight }
+
+// HitRate returns the fraction of requests served without executing:
+// (hits + in-flight joins) / runs, or 0 before any request. This is
+// the cache effectiveness number wfschedd's /metrics reports.
+func (s RunnerStats) HitRate() float64 {
+	runs := s.Runs()
+	if runs == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Inflight) / float64(runs)
+}
 
 // cacheEntry is one memoized execution. done is closed when value/err
 // are final; late arrivals wait on it instead of re-executing
@@ -102,12 +117,19 @@ func (r *Runner) Env() Env { return r.env }
 // Workers returns the worker-pool size.
 func (r *Runner) Workers() int { return cap(r.state.sem) }
 
-// Stats returns a snapshot of the cache traffic counters.
+// Stats returns a snapshot of the cache traffic counters. The counters
+// are lock-free atomics; the entry count takes the cache lock briefly,
+// so Stats is safe to call concurrently with running jobs (the
+// /metrics endpoint polls it under load).
 func (r *Runner) Stats() RunnerStats {
+	r.state.mu.Lock()
+	entries := uint64(len(r.state.cache))
+	r.state.mu.Unlock()
 	return RunnerStats{
 		Hits:     r.state.hits.Load(),
 		Misses:   r.state.misses.Load(),
 		Inflight: r.state.inflight.Load(),
+		Entries:  entries,
 	}
 }
 

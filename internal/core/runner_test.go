@@ -403,3 +403,56 @@ func TestSuiteEquivalenceSerialParallel(t *testing.T) {
 		t.Error("warm pass recorded no cache hits")
 	}
 }
+
+// TestRunnerStatsEntriesAndHitRate: the stats snapshot counts resident
+// cache entries and derives the hit rate the daemon's /metrics
+// endpoint reports, and stays race-safe when polled while jobs run
+// (the -race CI pass exercises the concurrent path).
+func TestRunnerStatsEntriesAndHitRate(t *testing.T) {
+	rt := NewRunner(DefaultEnv(), 4)
+	if s := rt.Stats(); s.Entries != 0 || s.HitRate() != 0 {
+		t.Fatalf("fresh engine stats = %+v, want zero entries and hit rate", s)
+	}
+	wf := workloads.GTCReadOnly(8)
+	if _, err := rt.Run(wf, SLocW); err != nil {
+		t.Fatal(err)
+	}
+	if s := rt.Stats(); s.Entries != 1 {
+		t.Fatalf("entries = %d after one run, want 1", s.Entries)
+	}
+
+	// Poll stats concurrently with a batch of duplicate jobs: the
+	// entry count must settle at the number of distinct jobs and the
+	// repeats must lift the hit rate above zero.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				rt.Stats()
+			}
+		}
+	}()
+	jobs := []Job{
+		ConfigJob(wf, SLocW), ConfigJob(wf, SLocW),
+		ConfigJob(wf, SLocR), ConfigJob(wf, SLocR),
+	}
+	if _, err := rt.RunBatch(jobs); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	s := rt.Stats()
+	if s.Entries != 2 {
+		t.Errorf("entries = %d, want 2 (two distinct jobs)", s.Entries)
+	}
+	if s.HitRate() <= 0 || s.HitRate() >= 1 {
+		t.Errorf("hit rate = %g, want in (0, 1): repeats hit, distinct jobs missed", s.HitRate())
+	}
+}

@@ -1,0 +1,30 @@
+package schedd
+
+import (
+	"bytes"
+	"log/slog"
+	"sync"
+)
+
+// syncBuffer is a bytes.Buffer safe for concurrent writers: the slog
+// handler writes from request goroutines while the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func newBufLogger(buf *syncBuffer) *slog.Logger {
+	return slog.New(slog.NewTextHandler(buf, nil))
+}

@@ -1,0 +1,131 @@
+package schedd
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// The placement handlers: a mutex-serialized cluster.State. One store
+// mutation at a time is not a bottleneck — a pass is microseconds of
+// index work once the estimator cache is warm — and it is what keeps
+// the decision log reproducible: replaying the same request sequence
+// rebuilds the same schedule byte for byte.
+
+// maxNodesPerRequest bounds one registration call; register a large
+// fleet in pages.
+const maxNodesPerRequest = 1024
+
+// AddNodes registers n nodes directly, for startup provisioning
+// (wfschedd -nodes) and the load generator's self-hosted daemon; HTTP
+// clients use POST /v1/nodes.
+func (s *Server) AddNodes(n int) []int {
+	ids := make([]int, 0, n)
+	s.storeMu.Lock()
+	for i := 0; i < n; i++ {
+		ids = append(ids, s.store.AddNode())
+	}
+	s.storeMu.Unlock()
+	return ids
+}
+
+func (s *Server) handleAddNodes(w http.ResponseWriter, r *http.Request) {
+	var req addNodesRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.replyError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Count < 1 || req.Count > maxNodesPerRequest {
+		s.replyError(w, http.StatusBadRequest, "schedd: count must be in [1, %d], got %d", maxNodesPerRequest, req.Count)
+		return
+	}
+	resp := addNodesResponse{Nodes: make([]int, 0, req.Count)}
+	s.storeMu.Lock()
+	for i := 0; i < req.Count; i++ {
+		resp.Nodes = append(resp.Nodes, s.store.AddNode())
+	}
+	s.storeMu.Unlock()
+	// Node IDs are dense, so the highest ID names the fleet size.
+	resp.Total = resp.Nodes[len(resp.Nodes)-1] + 1
+	s.reply(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req submitJobRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.replyError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	wf, err := req.resolve()
+	if err != nil {
+		s.replyError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.storeMu.Lock()
+	id, err := s.store.Submit(wf, req.ArrivalSeconds)
+	if err != nil {
+		s.storeMu.Unlock()
+		s.replyError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	js, _ := s.store.Job(id)
+	s.storeMu.Unlock()
+	s.reply(w, http.StatusOK, jobStatusWire(js))
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		s.replyError(w, http.StatusBadRequest, "schedd: job ID must be an integer, got %q", r.PathValue("id"))
+		return
+	}
+	s.storeMu.Lock()
+	js, ok := s.store.Job(id)
+	s.storeMu.Unlock()
+	if !ok {
+		s.replyError(w, http.StatusNotFound, "schedd: no job %d", id)
+		return
+	}
+	s.reply(w, http.StatusOK, jobStatusWire(js))
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	s.storeMu.Lock()
+	step, err := s.store.Schedule()
+	now := s.store.Now()
+	s.storeMu.Unlock()
+	if err != nil {
+		s.replyError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.reply(w, http.StatusOK, stepWire(now, step))
+}
+
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	var req advanceRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.replyError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.storeMu.Lock()
+	if req.ToSeconds < s.store.Now() {
+		now := s.store.Now()
+		s.storeMu.Unlock()
+		s.replyError(w, http.StatusBadRequest, "schedd: cannot advance the clock backwards (now %g, asked %g)", now, req.ToSeconds)
+		return
+	}
+	step, err := s.store.AdvanceTo(req.ToSeconds)
+	now := s.store.Now()
+	s.storeMu.Unlock()
+	if err != nil {
+		s.replyError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.reply(w, http.StatusOK, stepWire(now, step))
+}
+
+func (s *Server) handleState(w http.ResponseWriter, _ *http.Request) {
+	s.storeMu.Lock()
+	snap := s.store.Snapshot()
+	s.storeMu.Unlock()
+	s.reply(w, http.StatusOK, snapshotWire(snap))
+}

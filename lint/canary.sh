@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
 # Canary for the pmemlint engine-invariant analyzers: plant one known
-# violation per analyzer inside internal/cluster (the package all four
-# scope to), run pmemlint, and demand it fails with a diagnostic from
-# that analyzer. A canary that stops failing means the analyzer has
-# silently gone blind — the exact failure mode a lint gate cannot
-# detect about itself.
+# violation per analyzer inside a scoped package, run pmemlint, and
+# demand it fails with a diagnostic from that analyzer. A canary that
+# stops failing means the analyzer has silently gone blind — the exact
+# failure mode a lint gate cannot detect about itself.
+#
+# There are also negative canaries: plant code that a given analyzer
+# must NOT flag (because the package is deliberately out of scope) and
+# demand pmemlint stays quiet. Those guard the scope boundaries — a
+# scope regex that silently widens would start rejecting legal daemon
+# code.
 #
 # Usage: lint/canary.sh /path/to/pmemlint
 set -u
@@ -12,19 +17,20 @@ set -u
 PMEMLINT=${1:?usage: lint/canary.sh /path/to/pmemlint}
 cd "$(dirname "$0")/.."
 
-CANARY=internal/cluster/zz_canary_test_plant.go
-trap 'rm -f "$CANARY"' EXIT
+PLANT=zz_canary_test_plant.go
+trap 'rm -f internal/cluster/$PLANT internal/schedd/$PLANT' EXIT
 
 fail=0
 
-# plant <name> <expected-analyzer>: reads the canary source from stdin,
-# writes it into internal/cluster, and asserts pmemlint rejects it.
-plant() {
-  local name=$1 expect=$2 out status
-  cat > "$CANARY"
-  out=$("$PMEMLINT" ./internal/cluster/ 2>&1)
+# plant_in <dir> <name> <expected-analyzer>: reads the canary source
+# from stdin, writes it into <dir>, and asserts pmemlint rejects it
+# with a diagnostic from the expected analyzer.
+plant_in() {
+  local dir=$1 name=$2 expect=$3 out status
+  cat > "$dir/$PLANT"
+  out=$("$PMEMLINT" "./$dir/" 2>&1)
   status=$?
-  rm -f "$CANARY"
+  rm -f "$dir/$PLANT"
   if [ "$status" -eq 0 ]; then
     echo "canary $name: pmemlint passed; expected a $expect diagnostic" >&2
     fail=1
@@ -36,6 +42,26 @@ plant() {
     echo "canary $name: ok ($expect fired)"
   fi
 }
+
+# plant_quiet <dir> <name> <analyzer>: the negative canary. Reads
+# source from stdin that <analyzer> must NOT flag in <dir>; asserts
+# pmemlint passes the package with the plant in place.
+plant_quiet() {
+  local dir=$1 name=$2 analyzer=$3 out status
+  cat > "$dir/$PLANT"
+  out=$("$PMEMLINT" "./$dir/" 2>&1)
+  status=$?
+  rm -f "$dir/$PLANT"
+  if [ "$status" -ne 0 ]; then
+    echo "canary $name: pmemlint flagged code that is deliberately legal here ($analyzer scope widened?):" >&2
+    printf '%s\n' "$out" >&2
+    fail=1
+  else
+    echo "canary $name: ok ($analyzer stayed quiet)"
+  fi
+}
+
+plant() { plant_in internal/cluster "$1" "$2"; }
 
 # 1. An epoch-less completion re-post.
 plant eventorder eventorder <<'EOF'
@@ -79,10 +105,37 @@ func zzCanaryErrflow(f *os.File) {
 }
 EOF
 
+# 5. errflow also covers the daemon package: a dropped error in
+# internal/schedd must fire just like one in internal/cluster.
+plant_in internal/schedd errflow-schedd errflow <<'EOF'
+package schedd
+
+import "os"
+
+func zzCanaryErrflow(f *os.File) {
+	f.Close()
+}
+EOF
+
+# 6. Negative: the daemon measures real request latency, so wallclock
+# deliberately excludes internal/schedd. time.Now there is legal and
+# must stay legal.
+plant_quiet internal/schedd wallclock-schedd wallclock <<'EOF'
+package schedd
+
+import "time"
+
+func zzCanaryWallclock() time.Time {
+	return time.Now()
+}
+EOF
+
 # The tree itself must still be clean after the canaries are removed.
-if ! "$PMEMLINT" ./internal/cluster/ > /dev/null 2>&1; then
-  echo "canary cleanup: internal/cluster is not clean without the plants" >&2
-  fail=1
-fi
+for dir in internal/cluster internal/schedd; do
+  if ! "$PMEMLINT" "./$dir/" > /dev/null 2>&1; then
+    echo "canary cleanup: $dir is not clean without the plants" >&2
+    fail=1
+  fi
+done
 
 exit "$fail"
