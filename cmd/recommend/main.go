@@ -23,6 +23,8 @@ import (
 
 	"pmemsched"
 	"pmemsched/internal/cli"
+	"pmemsched/internal/stack"
+	"pmemsched/internal/stack/nvstream"
 	"pmemsched/internal/units"
 )
 
@@ -35,6 +37,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	name := fs.String("workflow", "", "workflow name (as in wfrun -list)")
 	specPath := fs.String("spec", "", "JSON workflow spec file (alternative to -workflow)")
+	dagPath := fs.String("dag", "", "DAG workflow JSON spec file: tune per-stage configurations instead of applying Table II")
 	ranks := fs.Int("ranks", 16, "ranks per component")
 	verify := fs.Bool("verify", false, "run the oracle and report regret")
 	suite := fs.Bool("suite", false, "run the whole 18-workload suite")
@@ -47,17 +50,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	// The three selection modes are mutually exclusive; catch every
+	// The four selection modes are mutually exclusive; catch every
 	// conflicting combination before touching the engine.
 	switch {
+	case *dagPath != "" && (*suite || *name != "" || *specPath != ""):
+		cli.Sayln(stderr, "recommend: -dag conflicts with -workflow, -spec and -suite")
+		return 2
 	case *suite && (*name != "" || *specPath != ""):
 		cli.Sayln(stderr, "recommend: -suite conflicts with -workflow and -spec")
 		return 2
 	case *name != "" && *specPath != "":
 		cli.Sayln(stderr, "recommend: -workflow and -spec are alternatives; pick one")
 		return 2
-	case !*suite && *name == "" && *specPath == "":
-		cli.Sayln(stderr, "recommend: nothing selected; use -workflow, -spec or -suite")
+	case !*suite && *name == "" && *specPath == "" && *dagPath == "":
+		cli.Sayln(stderr, "recommend: nothing selected; use -workflow, -spec, -dag or -suite")
 		return 2
 	}
 	if *ranks <= 0 {
@@ -68,6 +74,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	rt := pmemsched.NewRunner(pmemsched.DefaultEnv(), *parallel)
 	if *suite {
 		return runSuite(rt, *verify, stdout, stderr)
+	}
+	if *dagPath != "" {
+		f, err := os.Open(*dagPath)
+		if err != nil {
+			cli.Sayln(stderr, "recommend:", err)
+			return 2
+		}
+		d, err := pmemsched.ReadDAG(f)
+		//pmemlint:ignore errflow read-only file; decode errors are checked, a close error cannot lose data
+		f.Close()
+		if err != nil {
+			cli.Sayln(stderr, "recommend:", err)
+			return 2
+		}
+		return reportDAG(d, rt, stdout, stderr)
 	}
 
 	var wf pmemsched.Workflow
@@ -142,6 +163,45 @@ func report(wf pmemsched.Workflow, rt *pmemsched.Runner, verify bool, stdout, st
 			units.FormatSeconds(out.Oracle.Best.TotalSeconds))
 		cli.Sayf(stdout, "regret:    %s\n", fmtRegret(out.Regret))
 	}
+	return 0
+}
+
+// reportDAG tunes per-stage configurations for a DAG workflow and
+// prints the assignment next to the best uniform configuration. The
+// tuner may also move a stage's in-edges onto the NVStream stack (the
+// base engine runs NOVA, the CLIs' default).
+func reportDAG(d pmemsched.DAG, rt *pmemsched.Runner, stdout, stderr io.Writer) int {
+	nv := pmemsched.DefaultEnv()
+	nv.NewStack = func() stack.Instance { return nvstream.Default() }
+	nv.Tag = "nvstream"
+	tuned, err := pmemsched.TuneDAG(rt, d, pmemsched.DAGOptions{
+		Stacks: []pmemsched.NamedEnv{{Name: "nvstream", Env: nv}},
+	})
+	if err != nil {
+		cli.Sayln(stderr, "recommend:", err)
+		return 1
+	}
+	cli.Sayf(stdout, "dag:       %s\n", d)
+	cli.Sayf(stdout, "evaluated: %d assignments\n", tuned.Evaluations)
+	cli.Sayf(stdout, "%-20s %6s  %-7s %s\n", "stage", "ranks", "config", "stack")
+	for i, st := range d.Stages {
+		sc := tuned.Assignment.Stages[i]
+		ranks := st.Ranks
+		if sc.Ranks > 0 {
+			ranks = sc.Ranks
+		}
+		stackName := sc.Stack
+		if stackName == "" {
+			stackName = "nova"
+		}
+		cfg := pmemsched.Config{Mode: sc.Mode, Placement: sc.Place}
+		cli.Sayf(stdout, "%-20s %6d  %-7s %s\n", st.Name, ranks, cfg.Label(), stackName)
+	}
+	cli.Sayf(stdout, "tuned:     makespan %s, cost %.1f core-s\n",
+		units.FormatSeconds(tuned.Prediction.MakespanSeconds), tuned.Prediction.CostCoreSeconds)
+	ucfg := pmemsched.Config{Mode: tuned.Uniform.Mode, Placement: tuned.Uniform.Place}
+	cli.Sayf(stdout, "uniform:   %s — makespan %s, cost %.1f core-s\n",
+		ucfg.Label(), units.FormatSeconds(tuned.UniformPrediction.MakespanSeconds), tuned.UniformPrediction.CostCoreSeconds)
 	return 0
 }
 

@@ -34,6 +34,7 @@ import (
 	"pmemsched/internal/stack"
 	"pmemsched/internal/stack/nova"
 	"pmemsched/internal/stack/nvstream"
+	"pmemsched/internal/workflow"
 	"pmemsched/internal/workloads"
 )
 
@@ -45,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("wfsched", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	tracePath := fs.String("trace", "", "JSON job trace (default: a synthetic trace, see -jobs)")
+	dagPath := fs.String("dag", "", "DAG workflow JSON spec; the trace submits -jobs copies of it (conflicts with -trace, needs -jobs >= 1)")
 	jobs := fs.Int("jobs", 0, "synthetic trace size; 0 = the bundled 18-workload suite trace (one of each)")
 	interarrival := fs.Float64("interarrival", 60, "synthetic mean inter-arrival time in seconds (Poisson arrivals)")
 	nodes := fs.Int("nodes", 2, "cluster size")
@@ -84,6 +86,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	default:
 		cli.Sayf(stderr, "wfsched: unknown format %q (want text, csv or json)\n", *format)
 		return 2
+	}
+	if *dagPath != "" {
+		if *tracePath != "" {
+			cli.Sayln(stderr, "wfsched: -dag and -trace are mutually exclusive")
+			return 2
+		}
+		if *jobs < 1 {
+			cli.Sayf(stderr, "wfsched: -dag needs -jobs >= 1 (got %d)\n", *jobs)
+			return 2
+		}
 	}
 	env, err := envFor(*stackName)
 	if err != nil {
@@ -129,7 +141,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			cli.Sayln(stderr, "wfsched: -dump-trace needs a materialized trace; drop -stream")
 			return 2
 		}
-		src, done, err := selectSource(*tracePath, *jobs, *interarrival, *seed)
+		src, done, err := selectSource(*tracePath, *dagPath, *jobs, *interarrival, *seed)
 		if err != nil {
 			cli.Sayln(stderr, "wfsched:", err)
 			return 2
@@ -143,7 +155,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	} else {
-		tr, err := selectTrace(*tracePath, *jobs, *interarrival, *seed)
+		tr, err := selectTrace(*tracePath, *dagPath, *jobs, *interarrival, *seed)
 		if err != nil {
 			cli.Sayln(stderr, "wfsched:", err)
 			return 2
@@ -190,12 +202,34 @@ func dumpTraceFile(path string, tr cluster.Trace) error {
 	return f.Close()
 }
 
+// loadDAG reads a DAG workflow spec file.
+func loadDAG(path string) (workflow.DAGSpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return workflow.DAGSpec{}, err
+	}
+	//pmemlint:ignore errflow read-only file; decode errors are checked, a close error cannot lose data
+	defer f.Close()
+	return workflow.ReadDAGSpec(f)
+}
+
 // selectTrace resolves the job trace the flags ask for: a JSON file, a
-// synthetic trace of the given size, or (jobs == 0) the bundled suite
-// trace. A negative -jobs is an explicit error — it used to fall
-// through to the suite-trace default silently.
-func selectTrace(tracePath string, jobs int, interarrival float64, seed int64) (cluster.Trace, error) {
+// DAG spec repeated -jobs times, a synthetic trace of the given size,
+// or (jobs == 0) the bundled suite trace. A negative -jobs is an
+// explicit error — it used to fall through to the suite-trace default
+// silently.
+func selectTrace(tracePath, dagPath string, jobs int, interarrival float64, seed int64) (cluster.Trace, error) {
 	switch {
+	case dagPath != "":
+		d, err := loadDAG(dagPath)
+		if err != nil {
+			return cluster.Trace{}, err
+		}
+		return cluster.SyntheticDAG(d, cluster.SyntheticConfig{
+			Jobs:                    jobs,
+			MeanInterarrivalSeconds: interarrival,
+			Seed:                    seed,
+		})
 	case tracePath != "":
 		f, err := os.Open(tracePath)
 		if err != nil {
@@ -223,9 +257,17 @@ func selectTrace(tracePath string, jobs int, interarrival float64, seed int64) (
 // arrival, which WriteTrace/-dump-trace files are) and a synthetic
 // trace is drawn job by job. The returned func releases the source's
 // file handle, if any.
-func selectSource(tracePath string, jobs int, interarrival float64, seed int64) (cluster.TraceSource, func() error, error) {
+func selectSource(tracePath, dagPath string, jobs int, interarrival float64, seed int64) (cluster.TraceSource, func() error, error) {
 	noop := func() error { return nil }
 	switch {
+	case dagPath != "":
+		// A DAG trace is -jobs copies of one spec — always small, so
+		// materializing it keeps one synthesis path.
+		tr, err := selectTrace("", dagPath, jobs, interarrival, seed)
+		if err != nil {
+			return nil, noop, err
+		}
+		return tr.Source(), noop, nil
 	case tracePath != "":
 		f, err := os.Open(tracePath)
 		if err != nil {

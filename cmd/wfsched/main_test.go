@@ -89,7 +89,7 @@ func TestRunDumpTraceRoundTrip(t *testing.T) {
 // silent fall-through bug: -jobs -5 used to select the bundled suite
 // trace instead of erroring.
 func TestSelectTraceRejectsNegativeJobs(t *testing.T) {
-	if _, err := selectTrace("", -5, 60, 1); err == nil {
+	if _, err := selectTrace("", "", -5, 60, 1); err == nil {
 		t.Fatal("selectTrace accepted a negative job count")
 	} else if !strings.Contains(err.Error(), "-jobs") {
 		t.Errorf("error %q does not mention -jobs", err)
@@ -100,14 +100,14 @@ func TestSelectTraceRejectsNegativeJobs(t *testing.T) {
 // 18-workload suite trace, a positive count is a synthetic trace of
 // exactly that size.
 func TestSelectTraceDefaults(t *testing.T) {
-	tr, err := selectTrace("", 0, 60, 1)
+	tr, err := selectTrace("", "", 0, 60, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(tr.Jobs) != 18 {
 		t.Errorf("suite trace has %d jobs, want 18", len(tr.Jobs))
 	}
-	tr, err = selectTrace("", 5, 60, 1)
+	tr, err = selectTrace("", "", 5, 60, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

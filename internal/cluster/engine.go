@@ -202,7 +202,7 @@ func (c *checkedSource) next() (Job, bool, error) {
 	if j.ID != c.id {
 		return Job{}, false, fmt.Errorf("cluster: streaming trace job at position %d has ID %d (IDs must equal stream positions)", c.id, j.ID)
 	}
-	if err := j.Workflow.Validate(); err != nil {
+	if err := validateJob(j); err != nil {
 		return Job{}, false, fmt.Errorf("cluster: streaming trace job %d: %w", c.id, err)
 	}
 	if j.ArrivalSeconds < 0 {
@@ -453,7 +453,7 @@ func simulate(src jobSource, opt Options, cores int) (*Metrics, error) {
 				return nil, fmt.Errorf("cluster: policy %s overcommitted node %d with job %d (%d ranks, %d cores free)",
 					opt.Policy.Name(), pl.Node, pl.JobID, st.job.Workflow.Ranks, nodes[pl.Node].FreeAt(now))
 			}
-			dur, err := opt.Estimator.Estimate(st.job.Workflow, pl.Config)
+			dur, err := estimateJob(opt.Estimator, st.job, pl.Config)
 			if err != nil {
 				return nil, fmt.Errorf("cluster: executing job %d (%s): %w", pl.JobID, st.job.Workflow.Name, err)
 			}
@@ -472,7 +472,7 @@ func simulate(src jobSource, opt Options, cores int) (*Metrics, error) {
 				avoid[pl.JobID] = -1
 			}
 			if iv.Enabled {
-				prof, err := opt.Estimator.Profile(st.job.Workflow, pl.Config)
+				prof, err := profileJob(opt.Estimator, st.job, pl.Config)
 				if err != nil {
 					return nil, fmt.Errorf("cluster: profiling job %d (%s): %w", pl.JobID, st.job.Workflow.Name, err)
 				}

@@ -111,7 +111,7 @@ func (p *listPolicy) config(ctx *SchedContext, j Job) (core.Config, error) {
 	if p.fixed != nil {
 		return *p.fixed, nil
 	}
-	return ctx.Est.Recommend(j.Workflow)
+	return recommendJob(ctx.Est, j)
 }
 
 // profile fetches the job's PMEM-demand profile when the interference
@@ -121,7 +121,7 @@ func (p *listPolicy) profile(ctx *SchedContext, j Job, cfg core.Config) (JobProf
 	if !ctx.Model.Enabled {
 		return JobProfile{}, nil
 	}
-	prof, err := ctx.Est.Profile(j.Workflow, cfg)
+	prof, err := profileJob(ctx.Est, j, cfg)
 	if err != nil {
 		return JobProfile{}, fmt.Errorf("cluster: %s: profiling job %d (%s): %w", p.name, j.ID, j.Workflow.Name, err)
 	}
@@ -185,7 +185,7 @@ func (p *listPolicy) Schedule(ctx *SchedContext) ([]Placement, error) {
 			return nil, err
 		}
 		if node := p.pick(ctx, head, prof); node >= 0 {
-			dur, err := ctx.Est.Estimate(head.Workflow, cfg)
+			dur, err := estimateJob(ctx.Est, head, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("cluster: %s: estimating job %d (%s): %w", p.name, head.ID, head.Workflow.Name, err)
 			}
@@ -232,7 +232,7 @@ func (p *listPolicy) backfillBehind(ctx *SchedContext, head Job, rest []Job) ([]
 		if node < 0 {
 			continue
 		}
-		dur, err := ctx.Est.Estimate(j.Workflow, cfg)
+		dur, err := estimateJob(ctx.Est, j, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: %s: estimating job %d (%s): %w", p.name, j.ID, j.Workflow.Name, err)
 		}

@@ -2,7 +2,9 @@ package cluster
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"pmemsched/internal/core"
@@ -277,13 +279,23 @@ func (s *State) Schedule() (Step, error) {
 	return s.settle()
 }
 
+// ErrInvalidAdvance tags AdvanceTo targets the store must refuse:
+// non-finite or backwards times. NaN in particular passes a plain
+// backwards comparison (NaN < now is false) and would then be written
+// into the clock, poisoning every later event comparison — so callers
+// get an error they can map to a client fault (errors.Is).
+var ErrInvalidAdvance = errors.New("invalid advance target")
+
 // AdvanceTo moves the virtual clock to t, applying completions and
 // parked arrivals in event order (completions before arrivals at equal
 // times, ties by job ID — the batch engine's ordering) and consulting
 // the policy after every instant's events.
 func (s *State) AdvanceTo(t float64) (Step, error) {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return Step{}, fmt.Errorf("cluster: %w: non-finite time %g", ErrInvalidAdvance, t)
+	}
 	if t < s.now {
-		return Step{}, fmt.Errorf("cluster: cannot advance the clock backwards (now %g, asked %g)", s.now, t)
+		return Step{}, fmt.Errorf("cluster: %w: cannot advance the clock backwards (now %g, asked %g)", ErrInvalidAdvance, s.now, t)
 	}
 	acc, err := s.settle()
 	if err != nil {
@@ -422,7 +434,7 @@ func (s *State) pass() ([]Placed, error) {
 		// filter input of this pass, before this placement consumes
 		// capacity.
 		cands := s.Candidates(ranks, stateCandidateCap)
-		dur, err := s.est.Estimate(st.job.Workflow, pl.Config)
+		dur, err := estimateJob(s.est, st.job, pl.Config)
 		if err != nil {
 			return placed, fmt.Errorf("cluster: executing job %d (%s): %w", pl.JobID, st.job.Workflow.Name, err)
 		}

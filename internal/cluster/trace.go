@@ -35,8 +35,14 @@ type Job struct {
 	ID int
 	// Workflow is the job's workload. The scheduler may run it under any
 	// Table I configuration; it always occupies Workflow.Ranks cores on
-	// each socket of its node for the duration.
+	// each socket of its node for the duration. For DAG jobs it is the
+	// DAG's envelope (workflow.DAGSpec.Envelope): same name, ranks equal
+	// to the widest stage — the capacity and metrics surface.
 	Workflow workflow.Spec
+	// DAG is set for general in-situ pipeline jobs: duration estimation
+	// routes to the staged cost model (see DAGEstimator) instead of the
+	// envelope. Nil for the paper's pair jobs.
+	DAG *workflow.DAGSpec
 	// ArrivalSeconds is the submission time on the virtual clock.
 	ArrivalSeconds float64
 }
@@ -60,7 +66,7 @@ func (t Trace) Validate() error {
 		if j.ID != i {
 			return fmt.Errorf("cluster: trace job at position %d has ID %d (IDs must equal trace positions)", i, j.ID)
 		}
-		if err := j.Workflow.Validate(); err != nil {
+		if err := validateJob(j); err != nil {
 			return fmt.Errorf("cluster: trace job %d: %w", i, err)
 		}
 		if j.ArrivalSeconds < 0 {
@@ -76,12 +82,14 @@ func (t Trace) Validate() error {
 }
 
 // The JSON form of a trace: a job list whose workflow entries use the
-// same schema as cmd/wfrun's -spec files (workflow.ReadSpec).
+// same schema as cmd/wfrun's -spec files (workflow.ReadSpec). A job
+// may instead carry a "dag" entry (workflow.ReadDAGSpec's schema) —
+// exactly one of the two per job.
 //
 //	{
 //	  "jobs": [
 //	    {"arrival_seconds": 0, "workflow": {"name": "...", ...}},
-//	    {"arrival_seconds": 12.5, "workflow": {...}}
+//	    {"arrival_seconds": 12.5, "dag": {"name": "...", "stages": [...], "edges": [...]}}
 //	  ]
 //	}
 type traceJSON struct {
@@ -90,7 +98,30 @@ type traceJSON struct {
 
 type traceJobJSON struct {
 	ArrivalSeconds float64         `json:"arrival_seconds"`
-	Workflow       json.RawMessage `json:"workflow"`
+	Workflow       json.RawMessage `json:"workflow,omitempty"`
+	DAG            json.RawMessage `json:"dag,omitempty"`
+}
+
+// decodeTraceJob lowers one wire job to the Job model (IDs are
+// assigned by the caller).
+func decodeTraceJob(jj traceJobJSON) (Job, error) {
+	switch {
+	case len(jj.Workflow) > 0 && len(jj.DAG) > 0:
+		return Job{}, fmt.Errorf("has both workflow and dag entries (want exactly one)")
+	case len(jj.DAG) > 0:
+		d, err := workflow.ReadDAGSpec(bytes.NewReader(jj.DAG))
+		if err != nil {
+			return Job{}, err
+		}
+		return Job{Workflow: d.Envelope(), DAG: &d, ArrivalSeconds: jj.ArrivalSeconds}, nil
+	case len(jj.Workflow) > 0:
+		wf, err := workflow.ReadSpec(bytes.NewReader(jj.Workflow))
+		if err != nil {
+			return Job{}, err
+		}
+		return Job{Workflow: wf, ArrivalSeconds: jj.ArrivalSeconds}, nil
+	}
+	return Job{}, fmt.Errorf("has neither workflow nor dag entry")
 }
 
 // ReadTrace decodes and validates a job trace from JSON. Jobs are
@@ -105,11 +136,11 @@ func ReadTrace(r io.Reader) (Trace, error) {
 	}
 	var tr Trace
 	for i, jj := range tj.Jobs {
-		wf, err := workflow.ReadSpec(bytes.NewReader(jj.Workflow))
+		j, err := decodeTraceJob(jj)
 		if err != nil {
 			return Trace{}, fmt.Errorf("cluster: trace job %d: %w", i, err)
 		}
-		tr.Jobs = append(tr.Jobs, Job{Workflow: wf, ArrivalSeconds: jj.ArrivalSeconds})
+		tr.Jobs = append(tr.Jobs, j)
 	}
 	sort.SliceStable(tr.Jobs, func(a, b int) bool {
 		return tr.Jobs[a].ArrivalSeconds < tr.Jobs[b].ArrivalSeconds
@@ -130,14 +161,20 @@ func WriteTrace(w io.Writer, tr Trace) error {
 	}
 	var tj traceJSON
 	for _, j := range tr.Jobs {
+		jj := traceJobJSON{ArrivalSeconds: j.ArrivalSeconds}
 		var buf bytes.Buffer
-		if err := workflow.WriteSpec(&buf, j.Workflow); err != nil {
-			return fmt.Errorf("cluster: trace job %d: %w", j.ID, err)
+		if j.DAG != nil {
+			if err := workflow.WriteDAGSpec(&buf, *j.DAG); err != nil {
+				return fmt.Errorf("cluster: trace job %d: %w", j.ID, err)
+			}
+			jj.DAG = json.RawMessage(buf.Bytes())
+		} else {
+			if err := workflow.WriteSpec(&buf, j.Workflow); err != nil {
+				return fmt.Errorf("cluster: trace job %d: %w", j.ID, err)
+			}
+			jj.Workflow = json.RawMessage(buf.Bytes())
 		}
-		tj.Jobs = append(tj.Jobs, traceJobJSON{
-			ArrivalSeconds: j.ArrivalSeconds,
-			Workflow:       json.RawMessage(buf.Bytes()),
-		})
+		tj.Jobs = append(tj.Jobs, jj)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -222,11 +259,11 @@ func (s *jsonTraceSource) Next() (Job, bool, error) {
 	if err := s.dec.Decode(&jj); err != nil {
 		return Job{}, false, fmt.Errorf("decoding trace: %w", err)
 	}
-	wf, err := workflow.ReadSpec(bytes.NewReader(jj.Workflow))
+	j, err := decodeTraceJob(jj)
 	if err != nil {
-		return Job{}, false, err
+		return Job{}, false, fmt.Errorf("decoding trace job %d: %w", s.id, err)
 	}
-	j := Job{ID: s.id, Workflow: wf, ArrivalSeconds: jj.ArrivalSeconds}
+	j.ID = s.id
 	s.id++
 	return j, true, nil
 }

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"pmemsched/internal/stack"
+	"pmemsched/internal/stack/nvstream"
+	"pmemsched/internal/units"
+	"pmemsched/internal/workflow"
+)
+
+// testDAG is a small diamond with heterogeneous stages: a bulk producer,
+// a narrow small-object filter, and a wide sink.
+func testDAG() workflow.DAGSpec {
+	return workflow.DAGSpec{
+		Name:       "diamond",
+		Iterations: 3,
+		Stages: []workflow.StageSpec{
+			{Name: "sim", Ranks: 8, Component: workflow.ComponentSpec{
+				Name: "sim", ComputePerIteration: 0.4,
+				Objects: []workflow.ObjectSpec{{Bytes: 4 * units.MiB, CountPerRank: 2}},
+			}},
+			{Name: "filter", Ranks: 4, Component: workflow.ComponentSpec{
+				Name: "filter", ComputePerObject: 0.0004,
+				Objects: []workflow.ObjectSpec{{Bytes: 4 * units.KiB, CountPerRank: 64}},
+			}},
+			{Name: "render", Ranks: 8, Component: workflow.ComponentSpec{
+				Name: "render", ComputePerObject: 0.0002,
+			}},
+		},
+		Edges: []workflow.EdgeSpec{
+			{From: "sim", To: "filter"},
+			{From: "sim", To: "render"},
+			{From: "filter", To: "render", Type: workflow.EdgeCommit},
+		},
+	}
+}
+
+func nvstreamEnv() Env {
+	env := DefaultEnv()
+	env.NewStack = func() stack.Instance { return nvstream.Default() }
+	env.Tag = "nvstream"
+	return env
+}
+
+func TestPredictDAGDeterministic(t *testing.T) {
+	d := testDAG()
+	rt := NewRunner(DefaultEnv(), 2)
+	first, err := PredictDAG(rt, d, DAGAssignment{}, DAGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.MakespanSeconds <= 0 || first.CostCoreSeconds <= 0 {
+		t.Fatalf("degenerate prediction: %+v", first)
+	}
+	if len(first.Edges) != len(d.Edges) {
+		t.Fatalf("%d edge predictions for %d edges", len(first.Edges), len(d.Edges))
+	}
+	// A fresh runner must reproduce the prediction exactly.
+	again, err := PredictDAG(NewRunner(DefaultEnv(), 4), d, DAGAssignment{}, DAGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Fatalf("prediction not deterministic:\n got %+v\nwant %+v", again, first)
+	}
+}
+
+func TestPredictDAGCriticalPath(t *testing.T) {
+	d := testDAG()
+	rt := NewRunner(DefaultEnv(), 2)
+	p, err := PredictDAG(rt, d, DAGAssignment{}, DAGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPair := map[string]EdgePrediction{}
+	for _, e := range p.Edges {
+		byPair[e.From+">"+e.To] = e
+	}
+	// Store-and-forward: filter>render starts when sim>filter is done.
+	if got, want := byPair["filter>render"].StartSeconds, byPair["sim>filter"].DoneSeconds; got != want {
+		t.Fatalf("filter>render starts at %g, want its producer's finish %g", got, want)
+	}
+	// Source edges start at zero.
+	if byPair["sim>filter"].StartSeconds != 0 || byPair["sim>render"].StartSeconds != 0 {
+		t.Fatal("source edges do not start at time zero")
+	}
+	// The commit edge runs Serial whatever the assignment says.
+	asg := UniformAssignment(d, StageConfig{Mode: Parallel, Place: LocR})
+	p2, err := PredictDAG(rt, d, asg, DAGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range p2.Edges {
+		if e.From == "filter" && e.To == "render" && e.Cfg.Mode != Serial {
+			t.Fatalf("commit edge ran in %v mode", e.Cfg.Mode)
+		}
+	}
+	// Makespan is the latest edge completion.
+	max := 0.0
+	for _, e := range p.Edges {
+		if e.DoneSeconds > max {
+			max = e.DoneSeconds
+		}
+	}
+	if p.MakespanSeconds != max {
+		t.Fatalf("makespan %g, want latest edge completion %g", p.MakespanSeconds, max)
+	}
+}
+
+func TestPredictDAGRejects(t *testing.T) {
+	d := testDAG()
+	rt := NewRunner(DefaultEnv(), 2)
+	if _, err := PredictDAG(rt, d, DAGAssignment{Stages: []StageConfig{{}}}, DAGOptions{}); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+	bad := UniformAssignment(d, StageConfig{Ranks: -1})
+	if _, err := PredictDAG(rt, d, bad, DAGOptions{}); err == nil {
+		t.Fatal("negative rank override accepted")
+	}
+	ghost := UniformAssignment(d, StageConfig{Stack: "ghost"})
+	if _, err := PredictDAG(rt, d, ghost, DAGOptions{}); err == nil || !strings.Contains(err.Error(), `unknown stack "ghost"`) {
+		t.Fatalf("unknown stack error = %v", err)
+	}
+	cyc := d
+	cyc.Stages[2].Component.Objects = []workflow.ObjectSpec{{Bytes: 1, CountPerRank: 1}}
+	cyc.Edges = append(append([]workflow.EdgeSpec(nil), d.Edges...), workflow.EdgeSpec{From: "render", To: "sim"})
+	if _, err := PredictDAG(rt, cyc, DAGAssignment{}, DAGOptions{}); err == nil {
+		t.Fatal("cyclic dag accepted")
+	}
+}
+
+func TestTuneDAGNeverWorseThanUniform(t *testing.T) {
+	d := testDAG()
+	rt := NewRunner(DefaultEnv(), 4)
+	opt := DAGOptions{
+		Stacks:      []NamedEnv{{Name: "nvstream", Env: nvstreamEnv()}},
+		RankChoices: []int{4, 16},
+	}
+	tuned, err := TuneDAG(rt, d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.Prediction.MakespanSeconds > tuned.UniformPrediction.MakespanSeconds {
+		t.Fatalf("tuned makespan %g worse than uniform %g",
+			tuned.Prediction.MakespanSeconds, tuned.UniformPrediction.MakespanSeconds)
+	}
+	if !tuned.Feasible {
+		t.Fatal("unconstrained tuning reported infeasible")
+	}
+	if tuned.Evaluations < 2 {
+		t.Fatalf("only %d evaluations", tuned.Evaluations)
+	}
+	if len(tuned.Assignment.Stages) != len(d.Stages) {
+		t.Fatalf("assignment covers %d stages", len(tuned.Assignment.Stages))
+	}
+	// Determinism: a fresh runner tunes to the identical result.
+	again, err := TuneDAG(NewRunner(DefaultEnv(), 2), d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tuned, again) {
+		t.Fatalf("tuning not deterministic:\n got %+v\nwant %+v", again, tuned)
+	}
+}
+
+func TestTuneDAGObjectiveAndBudget(t *testing.T) {
+	d := testDAG()
+	rt := NewRunner(DefaultEnv(), 4)
+	byTime, err := TuneDAG(rt, d, DAGOptions{Objective: MinMakespan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCost, err := TuneDAG(rt, d, DAGOptions{Objective: MinCost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byCost.Prediction.CostCoreSeconds > byTime.Prediction.CostCoreSeconds {
+		t.Fatalf("min-cost tuning costs %g, more than min-makespan's %g",
+			byCost.Prediction.CostCoreSeconds, byTime.Prediction.CostCoreSeconds)
+	}
+	if byTime.Prediction.MakespanSeconds > byCost.Prediction.MakespanSeconds {
+		t.Fatalf("min-makespan tuning is slower than min-cost: %g vs %g",
+			byTime.Prediction.MakespanSeconds, byCost.Prediction.MakespanSeconds)
+	}
+	// An impossible budget still returns the best effort, flagged.
+	strapped, err := TuneDAG(rt, d, DAGOptions{MakespanBudgetSeconds: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strapped.Feasible {
+		t.Fatal("impossible makespan budget reported feasible")
+	}
+	// A generous budget changes nothing.
+	roomy, err := TuneDAG(rt, d, DAGOptions{CostBudgetCoreSeconds: 1e12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !roomy.Feasible {
+		t.Fatal("generous budget reported infeasible")
+	}
+}
+
+func TestTuneDAGRejectsBadOptions(t *testing.T) {
+	d := testDAG()
+	rt := NewRunner(DefaultEnv(), 2)
+	if _, err := TuneDAG(rt, d, DAGOptions{RankChoices: []int{0}}); err == nil {
+		t.Fatal("zero rank choice accepted")
+	}
+	if _, err := TuneDAG(rt, d, DAGOptions{Stacks: []NamedEnv{{Name: ""}}}); err == nil {
+		t.Fatal("empty stack name accepted")
+	}
+	dup := nvstreamEnv()
+	if _, err := TuneDAG(rt, d, DAGOptions{Stacks: []NamedEnv{{Name: "s", Env: dup}, {Name: "s", Env: dup}}}); err == nil {
+		t.Fatal("duplicate stack name accepted")
+	}
+}
+
+// The legacy bridge at the prediction layer: a two-stage DAG lifted
+// from a pair spec predicts exactly what Runner.Run reports for the
+// pair, edge for edge, in every Table I configuration.
+func TestPredictDAGMatchesLegacyRun(t *testing.T) {
+	wf := workflow.Couple("legacy", workflow.ComponentSpec{
+		Name: "s", ComputePerIteration: 0.3,
+		Objects: []workflow.ObjectSpec{{Bytes: 1 * units.MiB, CountPerRank: 4}},
+	}, workflow.AnalyticsKernel{Name: "a", ComputePerObject: 0.001}, 8, 3)
+	d := workflow.FromSpec(wf)
+	rt := NewRunner(DefaultEnv(), 2)
+	for _, cfg := range Configs {
+		direct, err := rt.Run(wf, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		asg := UniformAssignment(d, StageConfig{Mode: cfg.Mode, Place: cfg.Placement})
+		p, err := PredictDAG(rt, d, asg, DAGOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.MakespanSeconds != direct.TotalSeconds {
+			t.Fatalf("%s: dag makespan %g, pair runtime %g", cfg.Label(), p.MakespanSeconds, direct.TotalSeconds)
+		}
+		if want := 2 * float64(wf.Ranks) * direct.TotalSeconds; p.CostCoreSeconds != want {
+			t.Fatalf("%s: dag cost %g, want %g", cfg.Label(), p.CostCoreSeconds, want)
+		}
+	}
+}

@@ -66,6 +66,44 @@ func writeComponentFingerprint(w hash.Hash, role string, c workflow.ComponentSpe
 	fmt.Fprint(w, "]|")
 }
 
+// writeDAGSpecFingerprint serializes every prediction-affecting field
+// of a DAG spec in declaration order.
+func writeDAGSpecFingerprint(w hash.Hash, d workflow.DAGSpec) {
+	fmt.Fprintf(w, "dag=%q iters=%d stages=[", d.Name, d.Iterations)
+	for _, s := range d.Stages {
+		fmt.Fprintf(w, "stage=%q ranks=%d ", s.Name, s.Ranks)
+		writeComponentFingerprint(w, "comp", s.Component)
+	}
+	fmt.Fprint(w, "] edges=[")
+	for _, e := range d.Edges {
+		fmt.Fprintf(w, "%s>%s:%s,", e.From, e.To, e.Type)
+	}
+	fmt.Fprint(w, "]|")
+}
+
+// writeAssignmentFingerprint serializes a per-stage assignment
+// (index-aligned with the DAG's stages, so stage identity is
+// positional).
+func writeAssignmentFingerprint(w hash.Hash, a DAGAssignment) {
+	fmt.Fprint(w, "asg=[")
+	for _, sc := range a.Stages {
+		fmt.Fprintf(w, "r=%d m=%d p=%d st=%q,", sc.Ranks, sc.Mode, sc.Place, sc.Stack)
+	}
+	fmt.Fprint(w, "]|")
+}
+
+// dagKey builds the memo key of one whole-DAG prediction. Stack names
+// stand in for stack environments, so the key is sound within one
+// tuning run (where DAGOptions is fixed) — which is the only cache it
+// feeds.
+func dagKey(envKey string, d workflow.DAGSpec, asg DAGAssignment) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "dagpredict|env=%s|", envKey)
+	writeDAGSpecFingerprint(h, d)
+	writeAssignmentFingerprint(h, asg)
+	return fmt.Sprintf("d%016x", h.Sum64())
+}
+
 // runKey builds the cache key of one execution.
 func runKey(envKey string, wf workflow.Spec, dep Deployment) string {
 	h := fnv.New64a()

@@ -167,3 +167,49 @@ func TestRunKeyCoversSpecAndDeployment(t *testing.T) {
 		t.Error("environment key does not perturb runKey")
 	}
 }
+
+// TestDAGKeyCoversEveryField extends the coverage proof to the DAG
+// tuner's memo key: every exported field of workflow.DAGSpec (recursing
+// into stages, components, and edges) and of DAGAssignment must perturb
+// dagKey.
+func TestDAGKeyCoversEveryField(t *testing.T) {
+	baseDAG := func() workflow.DAGSpec {
+		return workflow.DAGSpec{
+			Name:       "d",
+			Iterations: 3,
+			Stages: []workflow.StageSpec{
+				{Name: "a", Component: baseComponent(), Ranks: 8},
+				{Name: "b", Component: baseComponent(), Ranks: 4},
+			},
+			Edges: []workflow.EdgeSpec{{From: "a", To: "b", Type: workflow.EdgeStream}},
+		}
+	}
+	baseAsg := func() DAGAssignment {
+		return DAGAssignment{Stages: []StageConfig{
+			{Ranks: 8, Mode: Serial, Place: LocW, Stack: "base"},
+			{Ranks: 4, Mode: Parallel, Place: LocR, Stack: "nv"},
+		}}
+	}
+	baseKey := dagKey("env", baseDAG(), baseAsg())
+
+	for _, m := range fieldMutations(t, reflect.TypeOf(workflow.DAGSpec{}), "DAGSpec.") {
+		d := baseDAG()
+		m.apply(reflect.ValueOf(&d).Elem())
+		if dagKey("env", d, baseAsg()) == baseKey {
+			t.Errorf("mutating %s did not change dagKey", m.name)
+		}
+	}
+	for _, m := range fieldMutations(t, reflect.TypeOf(DAGAssignment{}), "DAGAssignment.") {
+		a := baseAsg()
+		m.apply(reflect.ValueOf(&a).Elem())
+		if dagKey("env", baseDAG(), a) == baseKey {
+			t.Errorf("mutating %s did not change dagKey", m.name)
+		}
+	}
+	if dagKey("env", baseDAG(), baseAsg()) != baseKey {
+		t.Fatal("dagKey is not deterministic for identical inputs")
+	}
+	if dagKey("env2", baseDAG(), baseAsg()) == baseKey {
+		t.Error("environment key does not perturb dagKey")
+	}
+}

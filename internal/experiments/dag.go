@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pmemsched/internal/core"
+	"pmemsched/internal/stack"
+	"pmemsched/internal/stack/nvstream"
+	"pmemsched/internal/trace"
+	"pmemsched/internal/units"
+	"pmemsched/internal/workflow"
+)
+
+// DAGTuning is the generalized-workflow extension experiment: per-stage
+// configuration tuning (core.TuneDAG — rank count × mode × placement ×
+// stack per stage, Jolteon's shape applied to the paper's cost model)
+// against the best single uniform configuration, across the three
+// canonical in-situ topologies. The stages are deliberately
+// heterogeneous — bulk large-object producers next to small-object
+// analyses and compute-bound sinks — because that is exactly where one
+// site-wide configuration cell must leave time or cost on the table.
+func DAGTuning(rt *core.Runner) (*Report, error) {
+	r := &Report{ID: "dag", Title: "DAG workflows: per-stage tuning vs best uniform configuration"}
+
+	nvEnv := rt.Env()
+	nvEnv.NewStack = func() stack.Instance { return nvstream.Default() }
+	nvEnv.Tag = "nvstream"
+	opt := core.DAGOptions{
+		Stacks:      []core.NamedEnv{{Name: "nvstream", Env: nvEnv}},
+		RankChoices: []int{8, 16, 24},
+	}
+
+	t := &trace.Table{Columns: []string{
+		"topology", "stages", "uniform", "uni makespan", "uni cost",
+		"tuned makespan", "tuned cost", "evals", "tuned wins"}}
+	wins := 0
+	topologies := []workflow.DAGSpec{fanOutDAG(), fanInDAG(), diamondDAG()}
+	for _, d := range topologies {
+		tuned, err := core.TuneDAG(rt, d, opt)
+		if err != nil {
+			return nil, err
+		}
+		// A win is a strict improvement on either axis; strict adoption
+		// guarantees tuned is never worse on the lexicographic objective.
+		win := tuned.Prediction.MakespanSeconds < tuned.UniformPrediction.MakespanSeconds ||
+			tuned.Prediction.CostCoreSeconds < tuned.UniformPrediction.CostCoreSeconds
+		if win {
+			wins++
+		}
+		uniform := core.Config{Mode: tuned.Uniform.Mode, Placement: tuned.Uniform.Place}
+		t.AddRow(d.Name, fmt.Sprint(len(d.Stages)),
+			uniform.Label(),
+			units.FormatSeconds(tuned.UniformPrediction.MakespanSeconds),
+			fmt.Sprintf("%.1f", tuned.UniformPrediction.CostCoreSeconds),
+			units.FormatSeconds(tuned.Prediction.MakespanSeconds),
+			fmt.Sprintf("%.1f", tuned.Prediction.CostCoreSeconds),
+			fmt.Sprint(tuned.Evaluations),
+			fmt.Sprint(win))
+
+		r.Section(d.Name + ": tuned per-stage assignment")
+		st := &trace.Table{Columns: []string{"stage", "ranks", "config", "stack"}}
+		for i, s := range d.Stages {
+			sc := tuned.Assignment.Stages[i]
+			ranks := s.Ranks
+			if sc.Ranks > 0 {
+				ranks = sc.Ranks
+			}
+			stackName := sc.Stack
+			if stackName == "" {
+				stackName = "nova"
+			}
+			st.AddRow(s.Name, fmt.Sprint(ranks),
+				core.Config{Mode: sc.Mode, Placement: sc.Place}.Label(), stackName)
+		}
+		r.Table(st)
+	}
+	r.Section("summary")
+	r.Table(t)
+
+	r.Check("per-stage tuning beats the best uniform configuration",
+		"heterogeneous stages leave a uniform configuration suboptimal (Jolteon's premise) on at least 2 of 3 topologies",
+		fmt.Sprintf("%d of %d topologies improved", wins, len(topologies)),
+		wins >= 2)
+	return r, nil
+}
+
+// fanOutDAG: one bulk producer feeding three very different analyses —
+// a small-object filter, a compute-bound tracker, and a wide renderer.
+func fanOutDAG() workflow.DAGSpec {
+	return workflow.DAGSpec{
+		Name:       "fan-out",
+		Iterations: 6,
+		Stages: []workflow.StageSpec{
+			{Name: "sim", Ranks: 16, Component: workflow.ComponentSpec{
+				Name: "sim", ComputePerIteration: 0.6,
+				Objects: []workflow.ObjectSpec{{Bytes: 8 * units.MiB, CountPerRank: 2}},
+			}},
+			{Name: "filter", Ranks: 8, Component: workflow.ComponentSpec{
+				Name: "filter", ComputePerObject: 0.00005,
+				Objects: []workflow.ObjectSpec{{Bytes: 2 * units.KiB, CountPerRank: 256}},
+			}},
+			{Name: "tracker", Ranks: 16, Component: workflow.ComponentSpec{
+				Name: "tracker", ComputePerIteration: 1.2,
+			}},
+			{Name: "render", Ranks: 24, Component: workflow.ComponentSpec{
+				Name: "render", ComputePerObject: 0.0004,
+			}},
+		},
+		Edges: []workflow.EdgeSpec{
+			{From: "sim", To: "filter"},
+			{From: "sim", To: "tracker"},
+			{From: "sim", To: "render"},
+		},
+	}
+}
+
+// fanInDAG: two producers with opposite object populations (bulk
+// snapshots vs tiny events) merging into one reducer over commit edges.
+func fanInDAG() workflow.DAGSpec {
+	return workflow.DAGSpec{
+		Name:       "fan-in",
+		Iterations: 6,
+		Stages: []workflow.StageSpec{
+			{Name: "fluid", Ranks: 24, Component: workflow.ComponentSpec{
+				Name: "fluid", ComputePerIteration: 0.5,
+				Objects: []workflow.ObjectSpec{{Bytes: 16 * units.MiB, CountPerRank: 1}},
+			}},
+			{Name: "particles", Ranks: 8, Component: workflow.ComponentSpec{
+				Name: "particles", ComputePerIteration: 0.2,
+				Objects: []workflow.ObjectSpec{{Bytes: 2 * units.KiB, CountPerRank: 512}},
+			}},
+			{Name: "reduce", Ranks: 16, Component: workflow.ComponentSpec{
+				Name: "reduce", ComputePerObject: 0.0002,
+			}},
+		},
+		Edges: []workflow.EdgeSpec{
+			{From: "fluid", To: "reduce", Type: workflow.EdgeCommit},
+			{From: "particles", To: "reduce"},
+		},
+	}
+}
+
+// diamondDAG: the fan-out/fan-in composition — a producer splits into a
+// small-object filter and a compute-heavy statistics pass whose results
+// meet again in a renderer.
+func diamondDAG() workflow.DAGSpec {
+	return workflow.DAGSpec{
+		Name:       "diamond",
+		Iterations: 4,
+		Stages: []workflow.StageSpec{
+			{Name: "sim", Ranks: 16, Component: workflow.ComponentSpec{
+				Name: "sim", ComputePerIteration: 0.8,
+				Objects: []workflow.ObjectSpec{{Bytes: 2 * units.MiB, CountPerRank: 4}},
+			}},
+			{Name: "filter", Ranks: 8, Component: workflow.ComponentSpec{
+				Name: "filter", ComputePerObject: 0.0003,
+				Objects: []workflow.ObjectSpec{{Bytes: 64 * units.KiB, CountPerRank: 16}},
+			}},
+			{Name: "stats", Ranks: 4, Component: workflow.ComponentSpec{
+				Name: "stats", ComputePerObject: 0.002,
+				Objects: []workflow.ObjectSpec{{Bytes: 4 * units.KiB, CountPerRank: 8}},
+			}},
+			{Name: "render", Ranks: 16, Component: workflow.ComponentSpec{
+				Name: "render", ComputePerObject: 0.0005,
+			}},
+		},
+		Edges: []workflow.EdgeSpec{
+			{From: "sim", To: "filter"},
+			{From: "sim", To: "stats"},
+			{From: "filter", To: "render"},
+			{From: "stats", To: "render", Type: workflow.EdgeCommit},
+		},
+	}
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"pmemsched/internal/core"
+)
+
+func TestDAGTuningExperiment(t *testing.T) {
+	rep, err := DAGTuning(core.NewRunner(core.DefaultEnv(), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, total := rep.Matched()
+	if total == 0 {
+		t.Fatal("no claim checks recorded")
+	}
+	if ok != total {
+		var buf bytes.Buffer
+		if err := rep.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		t.Fatalf("%d/%d claims matched:\n%s", ok, total, buf.String())
+	}
+	var first bytes.Buffer
+	if err := rep.Render(&first); err != nil {
+		t.Fatal(err)
+	}
+	// Byte-identical rerun on a fresh engine with a different pool size.
+	rep2, err := DAGTuning(core.NewRunner(core.DefaultEnv(), 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := rep2.Render(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("dag experiment is not byte-identical across runs")
+	}
+}

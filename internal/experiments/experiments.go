@@ -176,6 +176,7 @@ func All() []Experiment {
 		{"online", "Online cluster scheduling: PMEM-aware vs fixed configurations (extension)", OnlineSched},
 		{"interference", "Cross-job PMEM interference: oblivious vs interference-aware placement (extension)", InterferenceSched},
 		{"faults", "Node failures: retry, backoff and checkpoint-restart on an unreliable cluster (extension)", FaultSched},
+		{"dag", "DAG workflows: per-stage tuning vs best uniform configuration (extension)", DAGTuning},
 	}
 }
 

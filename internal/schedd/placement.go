@@ -1,8 +1,11 @@
 package schedd
 
 import (
+	"errors"
 	"net/http"
 	"strconv"
+
+	"pmemsched/internal/cluster"
 )
 
 // The placement handlers: a mutex-serialized cluster.State. One store
@@ -34,14 +37,48 @@ func (s *Server) handleAddNodes(w http.ResponseWriter, r *http.Request) {
 		s.replyError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if req.Count < 1 || req.Count > maxNodesPerRequest {
-		s.replyError(w, http.StatusBadRequest, "schedd: count must be in [1, %d], got %d", maxNodesPerRequest, req.Count)
+	if len(req.Names) > 0 && req.Count != 0 {
+		s.replyError(w, http.StatusBadRequest, "schedd: set count or names, not both")
 		return
 	}
-	resp := addNodesResponse{Nodes: make([]int, 0, req.Count)}
+	count := req.Count
+	if len(req.Names) > 0 {
+		count = len(req.Names)
+	}
+	if count < 1 || count > maxNodesPerRequest {
+		s.replyError(w, http.StatusBadRequest, "schedd: count must be in [1, %d], got %d", maxNodesPerRequest, count)
+		return
+	}
+	resp := addNodesResponse{Nodes: make([]int, 0, count)}
 	s.storeMu.Lock()
-	for i := 0; i < req.Count; i++ {
-		resp.Nodes = append(resp.Nodes, s.store.AddNode())
+	// Validate the whole batch before registering anything: a duplicate
+	// (against the store or within the request) must not leave a prefix
+	// of the batch registered.
+	for i, name := range req.Names {
+		if name == "" {
+			s.storeMu.Unlock()
+			s.replyError(w, http.StatusBadRequest, "schedd: node name %d is empty", i)
+			return
+		}
+		if id, ok := s.nodeNames[name]; ok {
+			s.storeMu.Unlock()
+			s.replyError(w, http.StatusBadRequest, "schedd: duplicate node name %q (already node %d)", name, id)
+			return
+		}
+		for j := 0; j < i; j++ {
+			if req.Names[j] == name {
+				s.storeMu.Unlock()
+				s.replyError(w, http.StatusBadRequest, "schedd: node name %q repeated in request", name)
+				return
+			}
+		}
+	}
+	for i := 0; i < count; i++ {
+		id := s.store.AddNode()
+		if len(req.Names) > 0 {
+			s.nodeNames[req.Names[i]] = id
+		}
+		resp.Nodes = append(resp.Nodes, id)
 	}
 	s.storeMu.Unlock()
 	// Node IDs are dense, so the highest ID names the fleet size.
@@ -61,11 +98,21 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.storeMu.Lock()
+	if req.Key != "" {
+		if id, ok := s.jobKeys[req.Key]; ok {
+			s.storeMu.Unlock()
+			s.replyError(w, http.StatusBadRequest, "schedd: duplicate job key %q (already job %d)", req.Key, id)
+			return
+		}
+	}
 	id, err := s.store.Submit(wf, req.ArrivalSeconds)
 	if err != nil {
 		s.storeMu.Unlock()
 		s.replyError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	if req.Key != "" {
+		s.jobKeys[req.Key] = id
 	}
 	js, _ := s.store.Job(id)
 	s.storeMu.Unlock()
@@ -107,17 +154,17 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.storeMu.Lock()
-	if req.ToSeconds < s.store.Now() {
-		now := s.store.Now()
-		s.storeMu.Unlock()
-		s.replyError(w, http.StatusBadRequest, "schedd: cannot advance the clock backwards (now %g, asked %g)", now, req.ToSeconds)
-		return
-	}
 	step, err := s.store.AdvanceTo(req.ToSeconds)
 	now := s.store.Now()
 	s.storeMu.Unlock()
 	if err != nil {
-		s.replyError(w, http.StatusInternalServerError, "%v", err)
+		// An invalid target (backwards, NaN, ±Inf) is the client's
+		// fault; anything else is a store failure.
+		status := http.StatusInternalServerError
+		if errors.Is(err, cluster.ErrInvalidAdvance) {
+			status = http.StatusBadRequest
+		}
+		s.replyError(w, status, "%v", err)
 		return
 	}
 	s.reply(w, http.StatusOK, stepWire(now, step))

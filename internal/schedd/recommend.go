@@ -1,6 +1,7 @@
 package schedd
 
 import (
+	"bytes"
 	"net/http"
 	"strings"
 	"sync"
@@ -242,6 +243,10 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		s.replyError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if len(req.DAG) > 0 {
+		s.handleRecommendDAG(w, req)
+		return
+	}
 	wf, err := req.resolve()
 	if err != nil {
 		s.replyError(w, http.StatusBadRequest, "%v", err)
@@ -289,6 +294,52 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 				RuntimeSeconds: res.all[i].TotalSeconds,
 			})
 		}
+	}
+	s.reply(w, http.StatusOK, resp)
+}
+
+// handleRecommendDAG is the inline DAG decision path: a per-stage
+// tuned configuration (core.TuneDAG over the shared engine) instead of
+// a Table II cell. DAG tuning bypasses the micro-batcher — its many
+// per-edge kernel runs already coalesce in the runner's singleflight
+// cache, which is where concurrent identical DAG requests meet.
+func (s *Server) handleRecommendDAG(w http.ResponseWriter, req recommendRequest) {
+	if req.Name != "" || len(req.Workflow) > 0 {
+		s.replyError(w, http.StatusBadRequest, "schedd: request sets dag next to name or workflow; pick one")
+		return
+	}
+	d, err := workflow.ReadDAGSpec(bytes.NewReader(req.DAG))
+	if err != nil {
+		s.replyError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	tuned, err := core.TuneDAG(s.rt, d, core.DAGOptions{})
+	if err != nil {
+		s.replyError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	resp := dagRecommendResponse{
+		Workflow:               d.Name,
+		Stages:                 []dagStageConfigJSON{},
+		MakespanSeconds:        tuned.Prediction.MakespanSeconds,
+		CostCoreSeconds:        tuned.Prediction.CostCoreSeconds,
+		UniformConfig:          core.Config{Mode: tuned.Uniform.Mode, Placement: tuned.Uniform.Place}.Label(),
+		UniformMakespanSeconds: tuned.UniformPrediction.MakespanSeconds,
+		UniformCostCoreSeconds: tuned.UniformPrediction.CostCoreSeconds,
+		Evaluations:            tuned.Evaluations,
+	}
+	for i, st := range d.Stages {
+		sc := tuned.Assignment.Stages[i]
+		ranks := st.Ranks
+		if sc.Ranks > 0 {
+			ranks = sc.Ranks
+		}
+		resp.Stages = append(resp.Stages, dagStageConfigJSON{
+			Stage:  st.Name,
+			Ranks:  ranks,
+			Config: core.Config{Mode: sc.Mode, Placement: sc.Place}.Label(),
+			Stack:  sc.Stack,
+		})
 	}
 	s.reply(w, http.StatusOK, resp)
 }

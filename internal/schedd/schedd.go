@@ -120,6 +120,11 @@ type Server struct {
 
 	storeMu sync.Mutex
 	store   *cluster.State
+	// nodeNames and jobKeys back the duplicate-rejection contract of
+	// named node registration and keyed job submission: lookup tables
+	// only (never iterated), guarded by storeMu with the store itself.
+	nodeNames map[string]int
+	jobKeys   map[string]int
 }
 
 // New builds a server. Call Close when done to stop the batch
@@ -138,12 +143,14 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:   cfg,
-		rt:    cfg.Runner,
-		gate:  newGate(cfg.MaxInflight),
-		met:   newRegistry(),
-		store: store,
-		log:   cfg.Logger,
+		cfg:       cfg,
+		rt:        cfg.Runner,
+		gate:      newGate(cfg.MaxInflight),
+		met:       newRegistry(),
+		store:     store,
+		nodeNames: make(map[string]int),
+		jobKeys:   make(map[string]int),
+		log:       cfg.Logger,
 	}
 	s.batch = newBatcher(cfg.Runner, cfg.BatchWindow, cfg.MaxBatch, cfg.Batchers, s.met)
 	s.routes()

@@ -45,10 +45,18 @@ type workflowRef struct {
 	Ranks int `json:"ranks,omitempty"`
 	// Workflow is an inline spec in the workflow JSON schema.
 	Workflow json.RawMessage `json:"workflow,omitempty"`
+	// DAG is an inline general-pipeline spec in the DAG JSON schema
+	// (workflow.ReadDAGSpec). Only /v1/recommend accepts it — the
+	// response is then a per-stage tuned configuration instead of a
+	// Table II cell.
+	DAG json.RawMessage `json:"dag,omitempty"`
 }
 
 // resolve turns the reference into a validated spec.
 func (ref workflowRef) resolve() (workflow.Spec, error) {
+	if len(ref.DAG) > 0 {
+		return workflow.Spec{}, fmt.Errorf("schedd: dag specs are supported on /v1/recommend only")
+	}
 	if len(ref.Workflow) > 0 {
 		if ref.Name != "" {
 			return workflow.Spec{}, fmt.Errorf("schedd: request sets both name and workflow; pick one")
@@ -133,9 +141,14 @@ type recommendResponse struct {
 	Runtimes []configRuntime `json:"runtimes,omitempty"`
 }
 
-// addNodesRequest registers homogeneous nodes with the placement store.
+// addNodesRequest registers homogeneous nodes with the placement
+// store: either count anonymous nodes, or one node per unique name.
+// Named registration is idempotence armor for provisioning scripts —
+// re-posting a name is a deterministic 400 naming the existing node,
+// never a silent second registration.
 type addNodesRequest struct {
-	Count int `json:"count"`
+	Count int      `json:"count,omitempty"`
+	Names []string `json:"names,omitempty"`
 }
 
 type addNodesResponse struct {
@@ -149,11 +162,38 @@ type submitJobRequest struct {
 	// ArrivalSeconds on the store's virtual clock; values in the past
 	// clamp to now, values in the future park until /v1/advance.
 	ArrivalSeconds float64 `json:"arrival_seconds,omitempty"`
+	// Key is an optional client-chosen idempotency key: resubmitting a
+	// key is a deterministic 400 naming the job that holds it, so a
+	// retried request can never double-enqueue work.
+	Key string `json:"key,omitempty"`
 }
 
 // advanceRequest moves the store's virtual clock forward.
 type advanceRequest struct {
 	ToSeconds float64 `json:"to_seconds"`
+}
+
+// dagStageConfigJSON is one stage's tuned configuration in a DAG
+// recommendation.
+type dagStageConfigJSON struct {
+	Stage  string `json:"stage"`
+	Ranks  int    `json:"ranks"`
+	Config string `json:"config"`
+	Stack  string `json:"stack,omitempty"`
+}
+
+// dagRecommendResponse is the per-stage decision for an inline DAG
+// spec: the tuned assignment with its predicted makespan and cost,
+// next to the best uniform configuration it beat (or tied).
+type dagRecommendResponse struct {
+	Workflow               string               `json:"workflow"`
+	Stages                 []dagStageConfigJSON `json:"stages"`
+	MakespanSeconds        float64              `json:"makespan_seconds"`
+	CostCoreSeconds        float64              `json:"cost_core_seconds"`
+	UniformConfig          string               `json:"uniform_config"`
+	UniformMakespanSeconds float64              `json:"uniform_makespan_seconds"`
+	UniformCostCoreSeconds float64              `json:"uniform_cost_core_seconds"`
+	Evaluations            int                  `json:"evaluations"`
 }
 
 // jobStatusJSON mirrors cluster.JobStatus.

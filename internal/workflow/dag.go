@@ -1,0 +1,410 @@
+package workflow
+
+import (
+	"fmt"
+	"math"
+)
+
+// General DAG workflows. The paper's model is one fixed pair — a
+// simulation writing snapshots and an analytics component reading them.
+// A DAGSpec generalizes that to an arbitrary acyclic graph of named
+// stages connected by typed data edges: SIM-SITU-style in-situ
+// pipelines where one producer feeds several analyses, several feeds
+// merge into one consumer, or both (the diamond). Each edge lowers to
+// exactly the paper's two-component kernel — the producing stage as the
+// writer, the consuming stage as the reader — so every existing device,
+// stack, and scheduling model applies unchanged, and a two-stage DAG
+// with one stream edge compiles back to the original pair spec
+// byte-identically (the legacy bridge; TestCompileLegacyBridge pins it).
+
+// EdgeType is the data-passing discipline of one edge.
+type EdgeType string
+
+const (
+	// EdgeStream passes snapshots version by version: the consumer may
+	// read version v as soon as the producer commits it, so the pair can
+	// be scheduled in either of the paper's modes (the consumer stage's
+	// configured mode applies).
+	EdgeStream EdgeType = "stream"
+	// EdgeCommit passes only the completed dataset: the consumer starts
+	// after the producer's last iteration (a checkpoint/restart-style
+	// handoff). A commit edge always runs the pair in Serial mode,
+	// whatever the consumer's configured mode.
+	EdgeCommit EdgeType = "commit"
+)
+
+// StageSpec is one node of the DAG: a component with its own rank
+// count. The component's Objects describe what the stage produces for
+// its out-edges; what it consumes is always derived from its producers
+// (the Couple guarantee, generalized), so pure sinks may omit Objects.
+type StageSpec struct {
+	// Name identifies the stage within the DAG (unique, non-empty).
+	Name string
+	// Component is the stage's kernel behaviour. Its Name is the kernel
+	// name carried into compiled pair specs (the JSON reader defaults it
+	// to the stage name).
+	Component ComponentSpec
+	// Ranks is the stage's rank count (positive). Stages with different
+	// rank counts exchange at the wider count, with the narrower
+	// endpoint's per-rank load rescaled to conserve total bytes and
+	// compute (see scaleComponent).
+	Ranks int
+}
+
+// EdgeSpec is one directed data edge between two named stages.
+type EdgeSpec struct {
+	From string
+	To   string
+	// Type is the data-passing discipline; the zero value means
+	// EdgeStream.
+	Type EdgeType
+}
+
+// kind resolves the zero value to EdgeStream.
+func (e EdgeSpec) Kind() EdgeType {
+	if e.Type == "" {
+		return EdgeStream
+	}
+	return e.Type
+}
+
+// DAGSpec is a general in-situ workflow: named stages connected by
+// typed data edges, iterating together Iterations times.
+type DAGSpec struct {
+	Name       string
+	Iterations int
+	Stages     []StageSpec
+	Edges      []EdgeSpec
+}
+
+// stageIndex returns the declaration index of the named stage, or -1.
+func (d DAGSpec) stageIndex(name string) int {
+	for i, s := range d.Stages {
+		if s.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Stage returns the named stage.
+func (d DAGSpec) Stage(name string) (StageSpec, bool) {
+	if i := d.stageIndex(name); i >= 0 {
+		return d.Stages[i], true
+	}
+	return StageSpec{}, false
+}
+
+// MaxRanks returns the widest stage's rank count — the per-socket core
+// footprint of the DAG when its edges timeshare one node.
+func (d DAGSpec) MaxRanks() int {
+	max := 0
+	for _, s := range d.Stages {
+		if s.Ranks > max {
+			max = s.Ranks
+		}
+	}
+	return max
+}
+
+// outDegree counts the stage's out-edges.
+func (d DAGSpec) outDegree(name string) int {
+	n := 0
+	for _, e := range d.Edges {
+		if e.From == name {
+			n++
+		}
+	}
+	return n
+}
+
+// validateStage checks one stage's fields. Unlike ComponentSpec.Validate
+// it tolerates an empty object list on pure sinks (their read stream is
+// derived from their producers), but still rejects every non-finite or
+// out-of-range parameter.
+func (d DAGSpec) validateStage(s StageSpec) error {
+	if s.Name == "" {
+		return fmt.Errorf("workflow: dag %q: stage with empty name", d.Name)
+	}
+	if s.Ranks <= 0 {
+		return fmt.Errorf("workflow: dag %q: stage %q: rank count %d must be positive", d.Name, s.Name, s.Ranks)
+	}
+	c := s.Component
+	if !finite(c.ComputePerIteration) || !finite(c.ComputePerObject) {
+		return fmt.Errorf("workflow: dag %q: stage %q: non-finite compute", d.Name, s.Name)
+	}
+	if c.ComputePerIteration < 0 || c.ComputePerObject < 0 {
+		return fmt.Errorf("workflow: dag %q: stage %q: negative compute", d.Name, s.Name)
+	}
+	if !finite(c.ComputeJitter) || c.ComputeJitter < 0 || c.ComputeJitter >= 1 {
+		return fmt.Errorf("workflow: dag %q: stage %q: compute jitter %g outside [0,1)", d.Name, s.Name, c.ComputeJitter)
+	}
+	for i, o := range c.Objects {
+		if o.Bytes <= 0 || o.CountPerRank <= 0 {
+			return fmt.Errorf("workflow: dag %q: stage %q: object population %d must have positive size and count", d.Name, s.Name, i)
+		}
+	}
+	if d.outDegree(s.Name) > 0 && len(c.Objects) == 0 {
+		return fmt.Errorf("workflow: dag %q: stage %q produces data but declares no objects", d.Name, s.Name)
+	}
+	return nil
+}
+
+// Validate reports whether the DAG is well-formed: a named, non-empty,
+// weakly connected acyclic graph of valid stages whose edges reference
+// declared stages exactly once each.
+func (d DAGSpec) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("workflow: dag with empty name")
+	}
+	if d.Iterations <= 0 {
+		return fmt.Errorf("workflow: dag %q: iteration count %d must be positive", d.Name, d.Iterations)
+	}
+	if len(d.Stages) < 2 {
+		return fmt.Errorf("workflow: dag %q: need at least two stages (got %d)", d.Name, len(d.Stages))
+	}
+	for i, s := range d.Stages {
+		if err := d.validateStage(s); err != nil {
+			return err
+		}
+		for j := 0; j < i; j++ {
+			if d.Stages[j].Name == s.Name {
+				return fmt.Errorf("workflow: dag %q: duplicate stage %q", d.Name, s.Name)
+			}
+		}
+	}
+	if len(d.Edges) == 0 {
+		return fmt.Errorf("workflow: dag %q: no edges", d.Name)
+	}
+	for i, e := range d.Edges {
+		switch e.Kind() {
+		case EdgeStream, EdgeCommit:
+		default:
+			return fmt.Errorf("workflow: dag %q: edge %d: unknown type %q (want %q or %q)",
+				d.Name, i, e.Type, EdgeStream, EdgeCommit)
+		}
+		if d.stageIndex(e.From) < 0 {
+			return fmt.Errorf("workflow: dag %q: edge %d: unknown stage %q", d.Name, i, e.From)
+		}
+		if d.stageIndex(e.To) < 0 {
+			return fmt.Errorf("workflow: dag %q: edge %d: unknown stage %q", d.Name, i, e.To)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("workflow: dag %q: edge %d: self-edge on stage %q", d.Name, i, e.From)
+		}
+		for j := 0; j < i; j++ {
+			if d.Edges[j].From == e.From && d.Edges[j].To == e.To {
+				return fmt.Errorf("workflow: dag %q: duplicate edge %s>%s", d.Name, e.From, e.To)
+			}
+		}
+	}
+	if err := d.checkConnected(); err != nil {
+		return err
+	}
+	if _, err := d.Topo(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// checkConnected demands the stage graph be weakly connected: a DAG
+// submitted as one workflow must be one workflow, not two unrelated
+// pipelines sharing a name (which would silently share one node's
+// cores under the cluster model).
+func (d DAGSpec) checkConnected() error {
+	reach := make([]bool, len(d.Stages))
+	reach[0] = true
+	for changed := true; changed; {
+		changed = false
+		for _, e := range d.Edges {
+			u, v := d.stageIndex(e.From), d.stageIndex(e.To)
+			if reach[u] != reach[v] {
+				reach[u], reach[v] = true, true
+				changed = true
+			}
+		}
+	}
+	for i, ok := range reach {
+		if !ok {
+			return fmt.Errorf("workflow: dag %q: stage %q is disconnected from stage %q",
+				d.Name, d.Stages[i].Name, d.Stages[0].Name)
+		}
+	}
+	return nil
+}
+
+// Topo returns the stages' declaration indices in topological order.
+// The order is deterministic — among ready stages the one declared
+// first runs first (Kahn's algorithm with a declaration-index
+// tie-break) — which is what makes DAG compilation and prediction
+// byte-identical across runs. A cycle is an error naming the stages
+// left on it.
+func (d DAGSpec) Topo() ([]int, error) {
+	indeg := make([]int, len(d.Stages))
+	for _, e := range d.Edges {
+		indeg[d.stageIndex(e.To)]++
+	}
+	done := make([]bool, len(d.Stages))
+	order := make([]int, 0, len(d.Stages))
+	for len(order) < len(d.Stages) {
+		pick := -1
+		for i := range d.Stages {
+			if !done[i] && indeg[i] == 0 {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			var cyc []string
+			for i := range d.Stages {
+				if !done[i] {
+					cyc = append(cyc, d.Stages[i].Name)
+				}
+			}
+			return nil, fmt.Errorf("workflow: dag %q: cycle through stages %v", d.Name, cyc)
+		}
+		done[pick] = true
+		order = append(order, pick)
+		for _, e := range d.Edges {
+			if e.From == d.Stages[pick].Name {
+				indeg[d.stageIndex(e.To)]--
+			}
+		}
+	}
+	return order, nil
+}
+
+// legacyPair reports whether the DAG is exactly the paper's shape: two
+// stages, one stream edge, equal rank counts. Such a DAG compiles to a
+// pair spec named after the DAG itself, reproducing the legacy Spec
+// byte for byte.
+func (d DAGSpec) legacyPair(ranksFrom, ranksTo int) bool {
+	return len(d.Stages) == 2 && len(d.Edges) == 1 &&
+		d.Edges[0].Kind() == EdgeStream && ranksFrom == ranksTo
+}
+
+// scaleComponent rescales a component from its declared rank count to
+// an exchange width, conserving total bytes and total compute: each of
+// the "to" ranks carries from/to of one declared rank's per-iteration
+// load. Object counts and jitter are unchanged; object sizes and both
+// compute parameters scale by the factor (sizes are clamped to at least
+// one byte). Equal counts return the component verbatim, which is what
+// keeps the legacy bridge exact.
+func scaleComponent(c ComponentSpec, from, to int) ComponentSpec {
+	out := c
+	out.Objects = append([]ObjectSpec(nil), c.Objects...)
+	if from == to {
+		return out
+	}
+	factor := float64(from) / float64(to)
+	out.ComputePerIteration = c.ComputePerIteration * factor
+	out.ComputePerObject = c.ComputePerObject * factor
+	for i, o := range out.Objects {
+		b := int64(math.Round(float64(o.Bytes) * factor))
+		if b < 1 {
+			b = 1
+		}
+		out.Objects[i].Bytes = b
+	}
+	return out
+}
+
+// CompileEdge lowers one edge to the two-component kernel: the
+// producing stage as the writer, the consuming stage as the reader,
+// exchanging at the wider endpoint's rank count (ranksFrom/ranksTo
+// override the stages' declared counts when positive; the narrower
+// endpoint is rescaled by scaleComponent). The reader's object stream
+// is derived from the writer's, exactly as Couple derives the paper's
+// analytics stream. The resulting Spec is valid by construction.
+func (d DAGSpec) CompileEdge(e EdgeSpec, ranksFrom, ranksTo int) (Spec, error) {
+	u, ok := d.Stage(e.From)
+	if !ok {
+		return Spec{}, fmt.Errorf("workflow: dag %q: unknown stage %q", d.Name, e.From)
+	}
+	v, ok := d.Stage(e.To)
+	if !ok {
+		return Spec{}, fmt.Errorf("workflow: dag %q: unknown stage %q", d.Name, e.To)
+	}
+	ru, rv := u.Ranks, v.Ranks
+	if ranksFrom > 0 {
+		ru = ranksFrom
+	}
+	if ranksTo > 0 {
+		rv = ranksTo
+	}
+	w := ru
+	if rv > w {
+		w = rv
+	}
+	name := d.Name + "/" + e.From + ">" + e.To
+	if d.legacyPair(ru, rv) {
+		name = d.Name
+	}
+	sim := scaleComponent(u.Component, ru, w)
+	reader := scaleComponent(v.Component, rv, w)
+	ana := ComponentSpec{
+		Name:                v.Component.Name,
+		ComputePerIteration: reader.ComputePerIteration,
+		ComputePerObject:    reader.ComputePerObject,
+		ComputeJitter:       reader.ComputeJitter,
+		Objects:             append([]ObjectSpec(nil), sim.Objects...),
+	}
+	pair := Spec{
+		Name:       name,
+		Simulation: sim,
+		Analytics:  ana,
+		Ranks:      w,
+		Iterations: d.Iterations,
+	}
+	if err := pair.Validate(); err != nil {
+		return Spec{}, fmt.Errorf("workflow: dag %q: edge %s>%s: %w", d.Name, e.From, e.To, err)
+	}
+	return pair, nil
+}
+
+// FromSpec lifts a legacy two-component workflow into the equivalent
+// two-stage DAG. For Couple-built specs (every catalog workload and
+// every spec the JSON reader produces — their analytics stream is the
+// simulation's) compiling the single edge back reproduces the original
+// Spec exactly, including component names and jitter.
+func FromSpec(s Spec) DAGSpec {
+	simName, anaName := s.Simulation.Name, s.Analytics.Name
+	if simName == anaName {
+		simName += "/sim"
+		anaName += "/ana"
+	}
+	ana := s.Analytics
+	ana.Objects = nil // derived from the producer on compile
+	return DAGSpec{
+		Name:       s.Name,
+		Iterations: s.Iterations,
+		Stages: []StageSpec{
+			{Name: simName, Component: s.Simulation, Ranks: s.Ranks},
+			{Name: anaName, Component: ana, Ranks: s.Ranks},
+		},
+		Edges: []EdgeSpec{{From: simName, To: anaName, Type: EdgeStream}},
+	}
+}
+
+// Envelope returns a minimal valid pair Spec standing in for the DAG
+// where the scheduler's job model expects one: the DAG's name, its
+// widest stage's rank count (the per-socket core footprint when the
+// DAG's edges timeshare one node), and a token snapshot. The envelope
+// is never executed — DAG-aware estimators route to the DAG itself —
+// it only satisfies the job-intake validation and the metrics surface
+// (name, ranks).
+func (d DAGSpec) Envelope() Spec {
+	token := ComponentSpec{Name: "dag", Objects: []ObjectSpec{{Bytes: 1, CountPerRank: 1}}}
+	return Spec{
+		Name:       d.Name,
+		Simulation: token,
+		Analytics:  token,
+		Ranks:      d.MaxRanks(),
+		Iterations: 1,
+	}
+}
+
+// String summarizes the DAG for reports.
+func (d DAGSpec) String() string {
+	return fmt.Sprintf("%s[stages=%d edges=%d iters=%d]", d.Name, len(d.Stages), len(d.Edges), d.Iterations)
+}

@@ -1,0 +1,308 @@
+package workflow
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pmemsched/internal/units"
+)
+
+// diamondDAG is the canonical four-stage test topology: sim fans out to
+// filter and stats, which merge into render (the stats edge commits).
+func diamondDAG() DAGSpec {
+	return DAGSpec{
+		Name:       "diamond",
+		Iterations: 4,
+		Stages: []StageSpec{
+			{Name: "sim", Ranks: 16, Component: ComponentSpec{
+				Name: "sim", ComputePerIteration: 0.8,
+				Objects: []ObjectSpec{{Bytes: 2 * units.MiB, CountPerRank: 4}},
+			}},
+			{Name: "filter", Ranks: 8, Component: ComponentSpec{
+				Name: "filter", ComputePerObject: 0.0003,
+				Objects: []ObjectSpec{{Bytes: 64 * units.KiB, CountPerRank: 16}},
+			}},
+			{Name: "stats", Ranks: 4, Component: ComponentSpec{
+				Name: "stats", ComputePerObject: 0.002,
+				Objects: []ObjectSpec{{Bytes: 4 * units.KiB, CountPerRank: 8}},
+			}},
+			{Name: "render", Ranks: 16, Component: ComponentSpec{
+				Name: "render", ComputePerObject: 0.0005,
+			}},
+		},
+		Edges: []EdgeSpec{
+			{From: "sim", To: "filter"},
+			{From: "sim", To: "stats"},
+			{From: "filter", To: "render"},
+			{From: "stats", To: "render", Type: EdgeCommit},
+		},
+	}
+}
+
+func TestDAGValidateAccepts(t *testing.T) {
+	if err := diamondDAG().Validate(); err != nil {
+		t.Fatalf("diamond rejected: %v", err)
+	}
+}
+
+func TestDAGValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*DAGSpec)
+		want string
+	}{
+		{"empty-name", func(d *DAGSpec) { d.Name = "" }, "empty name"},
+		{"zero-iterations", func(d *DAGSpec) { d.Iterations = 0 }, "iteration count"},
+		{"one-stage", func(d *DAGSpec) { d.Stages = d.Stages[:1]; d.Edges = nil }, "at least two stages"},
+		{"no-edges", func(d *DAGSpec) { d.Edges = nil }, "no edges"},
+		{"dup-stage", func(d *DAGSpec) { d.Stages[1].Name = "sim" }, "duplicate stage"},
+		{"dup-edge", func(d *DAGSpec) { d.Edges[1] = d.Edges[0] }, "duplicate edge"},
+		{"self-edge", func(d *DAGSpec) { d.Edges[0].To = "sim" }, "self-edge"},
+		{"unknown-from", func(d *DAGSpec) { d.Edges[0].From = "ghost" }, `unknown stage "ghost"`},
+		{"unknown-to", func(d *DAGSpec) { d.Edges[0].To = "ghost" }, `unknown stage "ghost"`},
+		{"bad-edge-type", func(d *DAGSpec) { d.Edges[0].Type = "teleport" }, "unknown type"},
+		{"zero-ranks", func(d *DAGSpec) { d.Stages[0].Ranks = 0 }, "rank count"},
+		{"nan-compute", func(d *DAGSpec) { d.Stages[0].Component.ComputePerIteration = math.NaN() }, "non-finite compute"},
+		{"inf-compute", func(d *DAGSpec) { d.Stages[1].Component.ComputePerObject = math.Inf(1) }, "non-finite compute"},
+		{"neg-compute", func(d *DAGSpec) { d.Stages[0].Component.ComputePerIteration = -1 }, "negative compute"},
+		{"nan-jitter", func(d *DAGSpec) { d.Stages[0].Component.ComputeJitter = math.NaN() }, "jitter"},
+		{"big-jitter", func(d *DAGSpec) { d.Stages[0].Component.ComputeJitter = 1 }, "jitter"},
+		{"zero-object", func(d *DAGSpec) { d.Stages[0].Component.Objects[0].Bytes = 0 }, "object population"},
+		{"producer-no-objects", func(d *DAGSpec) { d.Stages[0].Component.Objects = nil }, "declares no objects"},
+	}
+	for _, tc := range cases {
+		d := diamondDAG()
+		tc.mut(&d)
+		err := d.Validate()
+		if err == nil {
+			t.Errorf("%s: validated", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDAGCycleDetection(t *testing.T) {
+	d := diamondDAG()
+	// render becomes a producer on the back-edge, so it needs objects.
+	d.Stages[3].Component.Objects = []ObjectSpec{{Bytes: 1, CountPerRank: 1}}
+	d.Edges = append(d.Edges, EdgeSpec{From: "render", To: "sim"})
+	err := d.Validate()
+	if err == nil {
+		t.Fatal("cyclic dag validated")
+	}
+	if !strings.Contains(err.Error(), "cycle through stages") {
+		t.Fatalf("error %q does not name the cycle", err)
+	}
+	// Every stage sits on the cycle, so every stage must be named.
+	for _, s := range d.Stages {
+		if !strings.Contains(err.Error(), s.Name) {
+			t.Errorf("cycle error %q omits stage %q", err, s.Name)
+		}
+	}
+}
+
+func TestDAGDisconnectedStages(t *testing.T) {
+	d := diamondDAG()
+	// Two unrelated pipelines sharing one DAG: sim>filter and stats>render.
+	d.Edges = []EdgeSpec{
+		{From: "sim", To: "filter"},
+		{From: "stats", To: "render"},
+	}
+	err := d.Validate()
+	if err == nil {
+		t.Fatal("disconnected dag validated")
+	}
+	if !strings.Contains(err.Error(), "disconnected") {
+		t.Fatalf("error %q does not mention disconnection", err)
+	}
+}
+
+func TestDAGTopoDeterministic(t *testing.T) {
+	d := diamondDAG()
+	first, err := d.Topo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sim before filter/stats, both before render; among ready stages the
+	// declaration order breaks ties, so the order is fully pinned.
+	if want := []int{0, 1, 2, 3}; !reflect.DeepEqual(first, want) {
+		t.Fatalf("topo order %v, want %v", first, want)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := d.Topo()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(again, first) {
+			t.Fatalf("topo order changed across runs: %v vs %v", again, first)
+		}
+	}
+}
+
+func TestDAGCompileDeterministic(t *testing.T) {
+	d := diamondDAG()
+	compile := func() []byte {
+		var buf bytes.Buffer
+		for _, e := range d.Edges {
+			pair, err := d.CompileEdge(e, 0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := WriteSpec(&buf, pair); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+	first := compile()
+	if !bytes.Equal(first, compile()) {
+		t.Fatal("edge compilation is not byte-identical across runs")
+	}
+}
+
+func TestDAGCompileEdgeShape(t *testing.T) {
+	d := diamondDAG()
+	pair, err := d.CompileEdge(d.Edges[0], 0, 0) // sim(16) > filter(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.Name != "diamond/sim>filter" {
+		t.Fatalf("pair name %q", pair.Name)
+	}
+	if pair.Ranks != 16 {
+		t.Fatalf("exchange width %d, want the wider endpoint 16", pair.Ranks)
+	}
+	if pair.Iterations != d.Iterations {
+		t.Fatalf("iterations %d, want %d", pair.Iterations, d.Iterations)
+	}
+	// The reader's stream is the writer's snapshot, not filter's own
+	// output objects.
+	if got, want := pair.Analytics.BytesPerRank(), pair.Simulation.BytesPerRank(); got != want {
+		t.Fatalf("reader stream %d bytes/rank, want the writer's %d", got, want)
+	}
+	// filter is the narrower endpoint: its per-object compute rescales by
+	// 8/16 so total compute is conserved at width 16.
+	if got, want := pair.Analytics.ComputePerObject, 0.0003/2; got != want {
+		t.Fatalf("reader compute/object %g, want rescaled %g", got, want)
+	}
+	// Total exchanged bytes are conserved: 16 ranks × 4 × 2MiB.
+	total := pair.Simulation.BytesPerRank() * int64(pair.Ranks)
+	if want := int64(16 * 4 * 2 * units.MiB); total != want {
+		t.Fatalf("total snapshot bytes %d, want %d", total, want)
+	}
+}
+
+// TestCompileLegacyBridge pins the compatibility guarantee: lifting a
+// Couple-built pair spec into a DAG and compiling its single edge back
+// reproduces the original spec exactly.
+func TestCompileLegacyBridge(t *testing.T) {
+	specs := []Spec{
+		Couple("wf", validSim(), AnalyticsKernel{Name: "ro"}, 8, 10),
+		Couple("jittered", jitterComponent(0.25), AnalyticsKernel{Name: "mm", ComputePerObject: 0.004}, 24, 5),
+	}
+	for _, wf := range specs {
+		d := FromSpec(wf)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%s: lifted dag invalid: %v", wf.Name, err)
+		}
+		pair, err := d.CompileEdge(d.Edges[0], 0, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", wf.Name, err)
+		}
+		if !reflect.DeepEqual(pair, wf) {
+			t.Fatalf("%s: legacy bridge drifted:\n got %+v\nwant %+v", wf.Name, pair, wf)
+		}
+		var a, b bytes.Buffer
+		if err := WriteSpec(&a, wf); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteSpec(&b, pair); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("%s: legacy bridge serialization differs", wf.Name)
+		}
+	}
+}
+
+// FromSpec must disambiguate a pair whose components share a name —
+// stage names are unique within a DAG.
+func TestFromSpecNameCollision(t *testing.T) {
+	sim := validSim()
+	wf := Couple("twins", sim, AnalyticsKernel{Name: sim.Name}, 8, 10)
+	d := FromSpec(wf)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("collision dag invalid: %v", err)
+	}
+	if d.Stages[0].Name == d.Stages[1].Name {
+		t.Fatalf("stage names not disambiguated: %q", d.Stages[0].Name)
+	}
+}
+
+func TestDAGEnvelope(t *testing.T) {
+	d := diamondDAG()
+	env := d.Envelope()
+	if err := env.Validate(); err != nil {
+		t.Fatalf("envelope invalid: %v", err)
+	}
+	if env.Name != d.Name {
+		t.Fatalf("envelope name %q", env.Name)
+	}
+	if env.Ranks != d.MaxRanks() || env.Ranks != 16 {
+		t.Fatalf("envelope ranks %d, want the widest stage's 16", env.Ranks)
+	}
+}
+
+func TestDAGJSONRoundTrip(t *testing.T) {
+	d := diamondDAG()
+	var first bytes.Buffer
+	if err := WriteDAGSpec(&first, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadDAGSpec(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d2, d) {
+		t.Fatalf("round trip drifted:\n got %+v\nwant %+v", d2, d)
+	}
+	var second bytes.Buffer
+	if err := WriteDAGSpec(&second, d2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("dag round trip is not byte-idempotent")
+	}
+}
+
+func TestReadDAGSpecRejects(t *testing.T) {
+	docs := map[string]string{
+		"unknown-field": `{"name": "x", "iterations": 1, "bogus": true,
+		  "stages": [{"name": "a", "ranks": 1, "objects": [{"bytes": 1, "count_per_rank": 1}]},
+		             {"name": "b", "ranks": 1}],
+		  "edges": [{"from": "a", "to": "b"}]}`,
+		"bad-jitter": `{"name": "x", "iterations": 1,
+		  "stages": [{"name": "a", "ranks": 1, "compute_jitter": 1.5, "objects": [{"bytes": 1, "count_per_rank": 1}]},
+		             {"name": "b", "ranks": 1}],
+		  "edges": [{"from": "a", "to": "b"}]}`,
+		"zero-object": `{"name": "x", "iterations": 1,
+		  "stages": [{"name": "a", "ranks": 1, "objects": [{"bytes": 0, "count_per_rank": 1}]},
+		             {"name": "b", "ranks": 1}],
+		  "edges": [{"from": "a", "to": "b"}]}`,
+		"cycle": `{"name": "x", "iterations": 1,
+		  "stages": [{"name": "a", "ranks": 1, "objects": [{"bytes": 1, "count_per_rank": 1}]},
+		             {"name": "b", "ranks": 1, "objects": [{"bytes": 1, "count_per_rank": 1}]}],
+		  "edges": [{"from": "a", "to": "b"}, {"from": "b", "to": "a"}]}`,
+	}
+	for name, doc := range docs {
+		if _, err := ReadDAGSpec(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: parsed", name)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package workflow
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The JSON form of a DAG workflow, for describing general in-situ
+// pipelines to the CLI tools and the daemon. Stage entries flatten the
+// component fields of the pair-spec schema; edge type defaults to
+// "stream":
+//
+//	{
+//	  "name": "diamond",
+//	  "iterations": 4,
+//	  "stages": [
+//	    {"name": "sim", "ranks": 16, "compute_per_iteration": 0.8,
+//	     "objects": [{"bytes": 2097152, "count_per_rank": 4}]},
+//	    {"name": "filter", "ranks": 8, "compute_per_object": 0.0003,
+//	     "objects": [{"bytes": 65536, "count_per_rank": 16}]},
+//	    {"name": "render", "ranks": 16}
+//	  ],
+//	  "edges": [
+//	    {"from": "sim", "to": "filter"},
+//	    {"from": "sim", "to": "render"},
+//	    {"from": "filter", "to": "render", "type": "commit"}
+//	  ]
+//	}
+//
+// A stage's objects describe what it produces for its out-edges; what
+// it consumes is always derived from its producers, so pure sinks (like
+// "render") omit them.
+type dagJSON struct {
+	Name       string         `json:"name"`
+	Iterations int            `json:"iterations"`
+	Stages     []dagStageJSON `json:"stages"`
+	Edges      []dagEdgeJSON  `json:"edges"`
+}
+
+type dagStageJSON struct {
+	Name                string       `json:"name"`
+	Ranks               int          `json:"ranks"`
+	ComputePerIteration float64      `json:"compute_per_iteration,omitempty"`
+	ComputePerObject    float64      `json:"compute_per_object,omitempty"`
+	ComputeJitter       float64      `json:"compute_jitter,omitempty"`
+	Objects             []objectJSON `json:"objects,omitempty"`
+}
+
+type dagEdgeJSON struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Type string `json:"type,omitempty"`
+}
+
+// ReadDAGSpec decodes and validates a DAG workflow from JSON. The
+// decoder is strict (unknown fields are errors) and the result is
+// fully validated — callers never see a cyclic, disconnected, or
+// out-of-range DAG.
+func ReadDAGSpec(r io.Reader) (DAGSpec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var dj dagJSON
+	if err := dec.Decode(&dj); err != nil {
+		return DAGSpec{}, fmt.Errorf("workflow: decoding dag spec: %w", err)
+	}
+	d := DAGSpec{Name: dj.Name, Iterations: dj.Iterations}
+	for _, sj := range dj.Stages {
+		c := ComponentSpec{
+			Name:                sj.Name,
+			ComputePerIteration: sj.ComputePerIteration,
+			ComputePerObject:    sj.ComputePerObject,
+			ComputeJitter:       sj.ComputeJitter,
+		}
+		for _, o := range sj.Objects {
+			c.Objects = append(c.Objects, ObjectSpec{Bytes: o.Bytes, CountPerRank: o.CountPerRank})
+		}
+		d.Stages = append(d.Stages, StageSpec{Name: sj.Name, Component: c, Ranks: sj.Ranks})
+	}
+	for _, ej := range dj.Edges {
+		d.Edges = append(d.Edges, EdgeSpec{From: ej.From, To: ej.To, Type: EdgeType(ej.Type)})
+	}
+	if err := d.Validate(); err != nil {
+		return DAGSpec{}, err
+	}
+	return d, nil
+}
+
+// WriteDAGSpec encodes a DAG workflow as JSON, the inverse of
+// ReadDAGSpec. Stream edges write no type field (the reader's default),
+// so read-write round trips are byte-idempotent.
+func WriteDAGSpec(w io.Writer, d DAGSpec) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	dj := dagJSON{Name: d.Name, Iterations: d.Iterations}
+	for _, s := range d.Stages {
+		sj := dagStageJSON{
+			Name:                s.Name,
+			Ranks:               s.Ranks,
+			ComputePerIteration: s.Component.ComputePerIteration,
+			ComputePerObject:    s.Component.ComputePerObject,
+			ComputeJitter:       s.Component.ComputeJitter,
+		}
+		for _, o := range s.Component.Objects {
+			sj.Objects = append(sj.Objects, objectJSON{Bytes: o.Bytes, CountPerRank: o.CountPerRank})
+		}
+		dj.Stages = append(dj.Stages, sj)
+	}
+	for _, e := range d.Edges {
+		ej := dagEdgeJSON{From: e.From, To: e.To}
+		if e.Kind() != EdgeStream {
+			ej.Type = string(e.Type)
+		}
+		dj.Edges = append(dj.Edges, ej)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(dj)
+}

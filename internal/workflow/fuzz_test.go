@@ -20,6 +20,23 @@ func FuzzParseSpec(f *testing.F) {
 	  "simulation": {"name": "climate", "compute_per_iteration": 0.8,
 	    "objects": [{"bytes": 100663296, "count_per_rank": 2}, {"bytes": 8192, "count_per_rank": 500}]},
 	  "analytics": {"name": "tracker", "compute_per_object": 0.0003}}`)
+	// Out-of-range numerics the validator must catch at parse time:
+	// jitter outside [0,1), overflowing compute, non-positive objects.
+	f.Add(`{"name": "j", "ranks": 2, "iterations": 1,
+	  "simulation": {"name": "s", "compute_jitter": 1.5, "objects": [{"bytes": 1, "count_per_rank": 1}]},
+	  "analytics": {"name": "a"}}`)
+	f.Add(`{"name": "j", "ranks": 2, "iterations": 1,
+	  "simulation": {"name": "s", "compute_jitter": -0.1, "objects": [{"bytes": 1, "count_per_rank": 1}]},
+	  "analytics": {"name": "a"}}`)
+	f.Add(`{"name": "inf", "ranks": 2, "iterations": 1,
+	  "simulation": {"name": "s", "compute_per_iteration": 1e999, "objects": [{"bytes": 1, "count_per_rank": 1}]},
+	  "analytics": {"name": "a"}}`)
+	f.Add(`{"name": "neg", "ranks": 2, "iterations": 1,
+	  "simulation": {"name": "s", "objects": [{"bytes": -5, "count_per_rank": 1}]},
+	  "analytics": {"name": "a"}}`)
+	f.Add(`{"name": "zero", "ranks": 2, "iterations": 1,
+	  "simulation": {"name": "s", "objects": [{"bytes": 8, "count_per_rank": 0}]},
+	  "analytics": {"name": "a"}}`)
 	f.Fuzz(func(t *testing.T, doc string) {
 		wf, err := ReadSpec(strings.NewReader(doc))
 		if err != nil {
@@ -42,6 +59,66 @@ func FuzzParseSpec(f *testing.F) {
 		}
 		if !bytes.Equal(first.Bytes(), second.Bytes()) {
 			t.Error("spec round trip is not byte-idempotent")
+		}
+	})
+}
+
+// FuzzReadDAGSpec is FuzzParseSpec for the DAG schema: the reader never
+// panics, anything it accepts validates (acyclic, connected, in-range),
+// and accepted DAGs survive a byte-idempotent Write/Read round trip.
+func FuzzReadDAGSpec(f *testing.F) {
+	f.Add(`{}`)
+	f.Add(`{"name": "x"`)
+	f.Add(`{"name": "x", "iterations": 1,
+	  "stages": [{"name": "a", "ranks": 4, "objects": [{"bytes": 64, "count_per_rank": 2}]},
+	             {"name": "b", "ranks": 2}],
+	  "edges": [{"from": "a", "to": "b"}]}`)
+	f.Add(`{"name": "diamond", "iterations": 4,
+	  "stages": [{"name": "sim", "ranks": 16, "compute_per_iteration": 0.8,
+	              "objects": [{"bytes": 2097152, "count_per_rank": 4}]},
+	             {"name": "filter", "ranks": 8, "compute_per_object": 0.0003,
+	              "objects": [{"bytes": 65536, "count_per_rank": 16}]},
+	             {"name": "render", "ranks": 16}],
+	  "edges": [{"from": "sim", "to": "filter"}, {"from": "sim", "to": "render"},
+	            {"from": "filter", "to": "render", "type": "commit"}]}`)
+	// Rejection seeds: cycle, disconnection, self-edge, bad jitter.
+	f.Add(`{"name": "cyc", "iterations": 1,
+	  "stages": [{"name": "a", "ranks": 1, "objects": [{"bytes": 1, "count_per_rank": 1}]},
+	             {"name": "b", "ranks": 1, "objects": [{"bytes": 1, "count_per_rank": 1}]}],
+	  "edges": [{"from": "a", "to": "b"}, {"from": "b", "to": "a"}]}`)
+	f.Add(`{"name": "self", "iterations": 1,
+	  "stages": [{"name": "a", "ranks": 1, "objects": [{"bytes": 1, "count_per_rank": 1}]},
+	             {"name": "b", "ranks": 1}],
+	  "edges": [{"from": "a", "to": "a"}, {"from": "a", "to": "b"}]}`)
+	f.Add(`{"name": "jit", "iterations": 1,
+	  "stages": [{"name": "a", "ranks": 1, "compute_jitter": 1.5, "objects": [{"bytes": 1, "count_per_rank": 1}]},
+	             {"name": "b", "ranks": 1}],
+	  "edges": [{"from": "a", "to": "b"}]}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		d, err := ReadDAGSpec(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("ReadDAGSpec accepted a dag its own Validate rejects: %v", err)
+		}
+		if _, err := d.Topo(); err != nil {
+			t.Fatalf("accepted dag has no topological order: %v", err)
+		}
+		var first bytes.Buffer
+		if err := WriteDAGSpec(&first, d); err != nil {
+			t.Fatalf("accepted dag does not re-serialize: %v", err)
+		}
+		d2, err := ReadDAGSpec(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("serialized dag does not re-parse: %v", err)
+		}
+		var second bytes.Buffer
+		if err := WriteDAGSpec(&second, d2); err != nil {
+			t.Fatalf("re-parsed dag does not re-serialize: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Error("dag round trip is not byte-idempotent")
 		}
 	})
 }

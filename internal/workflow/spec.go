@@ -10,6 +10,7 @@ package workflow
 
 import (
 	"fmt"
+	"math"
 
 	"pmemsched/internal/units"
 )
@@ -67,12 +68,22 @@ func (c ComponentSpec) ObjectsPerRank() int {
 	return total
 }
 
+// finite reports whether f is a usable duration parameter: NaN and the
+// infinities pass plain range comparisons (NaN < 0 is false) and then
+// poison every downstream sum, so they are rejected explicitly.
+func finite(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}
+
 // Validate reports whether the component spec is well-formed.
 func (c ComponentSpec) Validate() error {
+	if !finite(c.ComputePerIteration) || !finite(c.ComputePerObject) {
+		return fmt.Errorf("workflow: component %q: non-finite compute", c.Name)
+	}
 	if c.ComputePerIteration < 0 || c.ComputePerObject < 0 {
 		return fmt.Errorf("workflow: component %q: negative compute", c.Name)
 	}
-	if c.ComputeJitter < 0 || c.ComputeJitter >= 1 {
+	if !finite(c.ComputeJitter) || c.ComputeJitter < 0 || c.ComputeJitter >= 1 {
 		return fmt.Errorf("workflow: component %q: compute jitter %g outside [0,1)", c.Name, c.ComputeJitter)
 	}
 	if len(c.Objects) == 0 {

@@ -42,6 +42,7 @@ type componentJSON struct {
 	Name                string       `json:"name"`
 	ComputePerIteration float64      `json:"compute_per_iteration,omitempty"`
 	ComputePerObject    float64      `json:"compute_per_object,omitempty"`
+	ComputeJitter       float64      `json:"compute_jitter,omitempty"`
 	Objects             []objectJSON `json:"objects"`
 }
 
@@ -49,6 +50,7 @@ type analyticsJSON struct {
 	Name                string  `json:"name"`
 	ComputePerIteration float64 `json:"compute_per_iteration,omitempty"`
 	ComputePerObject    float64 `json:"compute_per_object,omitempty"`
+	ComputeJitter       float64 `json:"compute_jitter,omitempty"`
 }
 
 type objectJSON struct {
@@ -68,6 +70,7 @@ func ReadSpec(r io.Reader) (Spec, error) {
 		Name:                sj.Simulation.Name,
 		ComputePerIteration: sj.Simulation.ComputePerIteration,
 		ComputePerObject:    sj.Simulation.ComputePerObject,
+		ComputeJitter:       sj.Simulation.ComputeJitter,
 	}
 	for _, o := range sj.Simulation.Objects {
 		sim.Objects = append(sim.Objects, ObjectSpec{Bytes: o.Bytes, CountPerRank: o.CountPerRank})
@@ -77,6 +80,7 @@ func ReadSpec(r io.Reader) (Spec, error) {
 		ComputePerIteration: sj.Analytics.ComputePerIteration,
 		ComputePerObject:    sj.Analytics.ComputePerObject,
 	}, sj.Ranks, sj.Iterations)
+	wf.Analytics.ComputeJitter = sj.Analytics.ComputeJitter
 	if err := wf.Validate(); err != nil {
 		return Spec{}, err
 	}
@@ -97,11 +101,13 @@ func WriteSpec(w io.Writer, wf Spec) error {
 			Name:                wf.Simulation.Name,
 			ComputePerIteration: wf.Simulation.ComputePerIteration,
 			ComputePerObject:    wf.Simulation.ComputePerObject,
+			ComputeJitter:       wf.Simulation.ComputeJitter,
 		},
 		Analytics: analyticsJSON{
 			Name:                wf.Analytics.Name,
 			ComputePerIteration: wf.Analytics.ComputePerIteration,
 			ComputePerObject:    wf.Analytics.ComputePerObject,
+			ComputeJitter:       wf.Analytics.ComputeJitter,
 		},
 	}
 	for _, o := range wf.Simulation.Objects {

@@ -97,6 +97,55 @@ func ReadWorkflow(r io.Reader) (Workflow, error) { return workflow.ReadSpec(r) }
 // WriteWorkflow encodes a workflow spec as JSON.
 func WriteWorkflow(w io.Writer, wf Workflow) error { return workflow.WriteSpec(w, wf) }
 
+// General DAG workflows (beyond the paper's fixed pair): arbitrary
+// acyclic graphs of stages connected by typed data edges, each edge
+// lowering to the two-component kernel, with per-stage configuration
+// tuning on the staged cost model.
+type (
+	// DAG is a general in-situ pipeline of named stages and data edges.
+	DAG = workflow.DAGSpec
+	// DAGStage is one stage: a component with its own rank count.
+	DAGStage = workflow.StageSpec
+	// DAGEdge is one typed data edge between stages.
+	DAGEdge = workflow.EdgeSpec
+	// StageConfig is one stage's tunable execution configuration.
+	StageConfig = core.StageConfig
+	// DAGAssignment assigns a StageConfig to every stage.
+	DAGAssignment = core.DAGAssignment
+	// DAGOptions parameterizes DAG prediction and tuning.
+	DAGOptions = core.DAGOptions
+	// DAGPrediction is the staged cost model's output.
+	DAGPrediction = core.DAGPrediction
+	// TunedDAG is TuneDAG's result.
+	TunedDAG = core.TunedDAG
+	// NamedEnv is a selectable software stack for DAG tuning.
+	NamedEnv = core.NamedEnv
+)
+
+// ReadDAG decodes and validates a DAG workflow from JSON (see
+// internal/workflow's documented schema; wfsched -dag uses this).
+func ReadDAG(r io.Reader) (DAG, error) { return workflow.ReadDAGSpec(r) }
+
+// WriteDAG encodes a DAG workflow as JSON.
+func WriteDAG(w io.Writer, d DAG) error { return workflow.WriteDAGSpec(w, d) }
+
+// WorkflowDAG lifts a two-component workflow into the equivalent
+// two-stage DAG (the legacy bridge: compiling it back reproduces the
+// original spec).
+func WorkflowDAG(wf Workflow) DAG { return workflow.FromSpec(wf) }
+
+// PredictDAG composes per-edge predicted runtimes along the DAG's
+// critical path under one per-stage assignment.
+func PredictDAG(rt *Runner, d DAG, asg DAGAssignment, opt DAGOptions) (DAGPrediction, error) {
+	return core.PredictDAG(rt, d, asg, opt)
+}
+
+// TuneDAG searches per-stage rank × mode × placement × stack
+// assignments under the options' budgets.
+func TuneDAG(rt *Runner, d DAG, opt DAGOptions) (TunedDAG, error) {
+	return core.TuneDAG(rt, d, opt)
+}
+
 // Execution environment and results.
 type (
 	// Env supplies the simulated platform and storage stack.
