@@ -42,6 +42,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	verify := fs.Bool("verify", false, "run the oracle and report regret")
 	suite := fs.Bool("suite", false, "run the whole 18-workload suite")
 	parallel := fs.Int("parallel", 0, "run-engine worker pool size (0 = GOMAXPROCS)")
+	tier := fs.String("tier", "", "memory-tier policy: pmem-only, dram-first-spill, write-stage-drain, hot-promote, or auto (search all)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -69,6 +70,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *ranks <= 0 {
 		cli.Sayf(stderr, "recommend: -ranks must be positive, got %d\n", *ranks)
 		return 2
+	}
+	// Tier selection rides on the single-workflow path only: the suite
+	// and DAG paths have their own configuration spaces.
+	var tierSpec pmemsched.TierSpec
+	tierAuto := false
+	if *tier != "" {
+		if *suite || *dagPath != "" {
+			cli.Sayln(stderr, "recommend: -tier conflicts with -suite and -dag")
+			return 2
+		}
+		if *tier == "auto" {
+			tierAuto = true
+		} else {
+			pol, err := pmemsched.ParseTierPolicy(*tier)
+			if err != nil {
+				cli.Sayln(stderr, "recommend:", err)
+				return 2
+			}
+			tierSpec = pmemsched.TierSpec{Policy: pol}
+		}
 	}
 
 	rt := pmemsched.NewRunner(pmemsched.DefaultEnv(), *parallel)
@@ -114,7 +135,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if tierAuto {
+		return reportTier(wf, rt, stdout, stderr)
+	}
+	wf.Tier = tierSpec
 	return report(wf, rt, *verify, stdout, stderr)
+}
+
+// reportTier sweeps every tier policy over the Table I space and
+// prints the per-policy best results next to the recommendation.
+func reportTier(wf pmemsched.Workflow, rt *pmemsched.Runner, stdout, stderr io.Writer) int {
+	choice, err := pmemsched.RecommendTier(rt, wf)
+	if err != nil {
+		cli.Sayln(stderr, "recommend:", err)
+		return 1
+	}
+	cli.Sayf(stdout, "workflow:  %s\n", wf)
+	for _, tr := range choice.PerTier {
+		cli.Sayf(stdout, "  %-18s best %-7s %s\n", tr.Tier.Label(),
+			tr.Best.Config.Label(), units.FormatSeconds(tr.Best.TotalSeconds))
+	}
+	cli.Sayf(stdout, "recommend: %s under %s\n", choice.Tier.Label(), choice.Best.Config.Label())
+	if gain := choice.Improvement(); gain > 0 {
+		cli.Sayf(stdout, "gain:      %s over the best pmem-only configuration\n", units.FormatSeconds(gain))
+	} else {
+		cli.Sayln(stdout, "gain:      none (pmem-only remains best)")
+	}
+	return 0
 }
 
 // workflowByName resolves a catalog workload name.

@@ -65,6 +65,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	retries := fs.Int("retries", 0, "max attempts per job under faults; 0 = the default policy (4)")
 	backoff := fs.Float64("backoff", -1, "base requeue backoff in seconds, doubling per kill; negative = default (10)")
 	checkpoint := fs.Float64("checkpoint", 0, "checkpoint-restart interval in standalone-seconds; 0 = restart from scratch")
+	tier := fs.String("tier", "", "memory-tier policy applied to every job: pmem-only, dram-first-spill, write-stage-drain or hot-promote")
+	nodeDRAM := fs.Float64("node-dram", 0, "per-node DRAM capacity in GiB schedulable by tiered jobs (0 = DRAM unmodeled)")
 	stream := fs.Bool("stream", false, "stream the trace through the engine (constant memory; -trace files must already be sorted by arrival)")
 	summaryOnly := fs.Bool("summary-only", false, "aggregate on the fly and emit only the summary (constant memory; fleet-scale runs)")
 	dedupSamples := fs.Bool("dedup-samples", false, "drop consecutive identical utilization samples from the series")
@@ -97,6 +99,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
+	var tierSpec workflow.TierSpec
+	if *tier != "" {
+		if *dagPath != "" {
+			cli.Sayln(stderr, "wfsched: -tier conflicts with -dag (declare per-stage tiers in the DAG spec)")
+			return 2
+		}
+		pol, err := workflow.ParseTierPolicy(*tier)
+		if err != nil {
+			cli.Sayln(stderr, "wfsched:", err)
+			return 2
+		}
+		tierSpec = workflow.TierSpec{Policy: pol}
+	}
+	if *nodeDRAM < 0 {
+		cli.Sayf(stderr, "wfsched: -node-dram must be non-negative, got %g\n", *nodeDRAM)
+		return 2
+	}
 	env, err := envFor(*stackName)
 	if err != nil {
 		cli.Sayln(stderr, "wfsched:", err)
@@ -125,8 +144,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			SummaryOnly:       *summaryOnly,
 		},
 	}
+	opt.DRAMBytesPerNode = *nodeDRAM * 1024 * 1024 * 1024
 	if *interference {
-		opt.Interference = cluster.DefaultInterference()
+		if tierSpec.Enabled() {
+			// Tiered jobs also contend for socket DRAM bandwidth.
+			opt.Interference = cluster.TieredInterference()
+		} else {
+			opt.Interference = cluster.DefaultInterference()
+		}
 	}
 	if err := faultOptions(&opt, *faults, *faultSchedule, *mtbf, *mttr, *seed, *retries, *backoff, *checkpoint); err != nil {
 		cli.Sayln(stderr, "wfsched:", err)
@@ -146,6 +171,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			cli.Sayln(stderr, "wfsched:", err)
 			return 2
 		}
+		if tierSpec.Enabled() {
+			src = tieredSource{src: src, tier: tierSpec}
+		}
 		metrics, err = cluster.SimulateStream(src, opt)
 		if cerr := done(); err == nil {
 			err = cerr
@@ -159,6 +187,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			cli.Sayln(stderr, "wfsched:", err)
 			return 2
+		}
+		if tierSpec.Enabled() {
+			for i := range tr.Jobs {
+				tr.Jobs[i].Workflow.Tier = tierSpec
+			}
 		}
 		if *dumpTrace != "" {
 			if err := dumpTraceFile(*dumpTrace, tr); err != nil {
@@ -186,6 +219,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// tieredSource applies the site-wide -tier policy to every streamed
+// job's workflow.
+type tieredSource struct {
+	src  cluster.TraceSource
+	tier workflow.TierSpec
+}
+
+func (t tieredSource) Next() (cluster.Job, bool, error) {
+	j, ok, err := t.src.Next()
+	if ok {
+		j.Workflow.Tier = t.tier
+	}
+	return j, ok, err
 }
 
 // dumpTraceFile writes the materialized trace as JSON.

@@ -62,6 +62,26 @@ func batchKey(w io.Writer, b Batch) { // want `batchKey does not fold exported f
 	}
 }
 
+// Tier mirrors the multi-tier memory spec: a small all-value struct
+// whose every field steers the run model, so a key that samples only
+// the policy silently conflates differently-sized tiers.
+type Tier struct {
+	Policy                 int
+	DRAMBytesPerRank       int64
+	DrainBytesPerSecond    float64
+	PromoteAfterIterations int
+}
+
+func writeTierFingerprint(w io.Writer, t Tier) { // want `writeTierFingerprint does not fold exported field core\.Tier\.DrainBytesPerSecond into the cache key` `writeTierFingerprint does not fold exported field core\.Tier\.PromoteAfterIterations into the cache key`
+	fmt.Fprintf(w, "tier=%d dram=%d|", t.Policy, t.DRAMBytesPerRank)
+}
+
+// tierKey covers the whole tier struct, field for field.
+func tierKey(w io.Writer, t Tier) {
+	fmt.Fprintf(w, "tier=%d dram=%d drain=%g promote=%d|",
+		t.Policy, t.DRAMBytesPerRank, t.DrainBytesPerSecond, t.PromoteAfterIterations)
+}
+
 // legacyKey documents an audited exception: Added is deliberately
 // excluded, and the directive says why.
 //

@@ -55,6 +55,29 @@ var scanRateBytesPerSecond = 2.5e9 // want `raw numeric literal 2\.5e9 initializ
 
 var attempts = 3 // uncalibrated name: ok
 
+// TierDefaults models the multi-tier memory constants: budgets and
+// drain rates are calibrated quantities just like device bandwidths.
+const DefaultTierDrainBytesPerSecond = 2e9 // want `raw numeric literal 2e9 initializes calibrated name "DefaultTierDrainBytesPerSecond"`
+
+const DerivedTierDrainBytesPerSecond = 2 * units.GBps // derived from a unit anchor: ok
+
+// TierKnobs is a tier-spec-shaped struct: the rate field is calibrated,
+// the size and count fields are not (bytes and iterations carry no
+// time dimension).
+type TierKnobs struct {
+	DRAMBytesPerRank       int64
+	DrainBytesPerSecond    float64
+	PromoteAfterIterations int
+}
+
+func Tiers() []TierKnobs {
+	return []TierKnobs{
+		{DRAMBytesPerRank: 1 << 28, DrainBytesPerSecond: 5e8, PromoteAfterIterations: 2}, // want `raw numeric literal 5e8 assigned to calibrated field "DrainBytesPerSecond"`
+		{DRAMBytesPerRank: 1 << 28, DrainBytesPerSecond: 0.5 * units.GBps, PromoteAfterIterations: 2},
+		{DRAMBytesPerRank: 1 << 28, DrainBytesPerSecond: 0, PromoteAfterIterations: 2}, // zero means disabled: ok
+	}
+}
+
 func Policies() []Retry {
 	return []Retry{
 		{BackoffSeconds: 10, Attempts: 3}, // want `raw numeric literal 10 assigned to calibrated field "BackoffSeconds"`

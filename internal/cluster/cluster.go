@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 
 	"pmemsched/internal/core"
 	"pmemsched/internal/workflow"
@@ -74,9 +75,19 @@ type RunningJob struct {
 	JobID      int
 	Ranks      int
 	EndSeconds float64
+	// DRAMBytes is the node DRAM the job's tier policy holds resident
+	// (workflow.Spec.TierDRAMBytes); zero for untiered jobs, which never
+	// engage the DRAM capacity accounting.
+	DRAMBytes float64
 	// Profile is the job's PMEM demand for the interference model; the
 	// zero value when the model is disabled.
 	Profile JobProfile
+}
+
+// jobDRAMBytes returns the node DRAM the job holds resident under its
+// workflow's tier policy (zero for pmem-only jobs).
+func jobDRAMBytes(j Job) float64 {
+	return float64(j.Workflow.TierDRAMBytes())
 }
 
 // NodeView is the scheduler-visible state of one node: a two-socket
@@ -97,6 +108,11 @@ type NodeView struct {
 	ID int
 	// Cores is the capacity of each of the node's two sockets.
 	Cores int
+	// DRAMBytes is the node's DRAM capacity available to tiered jobs
+	// (Options.DRAMBytesPerNode). Zero means DRAM is not modeled as a
+	// schedulable resource and tiered jobs place without a capacity
+	// check, preserving the pre-tier engine's behavior byte for byte.
+	DRAMBytes float64
 	// Running lists resident jobs in placement order (deterministic:
 	// commit order, which the engine fixes).
 	Running []RunningJob
@@ -121,6 +137,33 @@ func (n *NodeView) FreeAt(t float64) int {
 		}
 	}
 	return free
+}
+
+// DRAMFreeAt returns the DRAM bytes free at time t under the same
+// convention as FreeAt: residents ending after t still hold their
+// reservation, and a down node has no capacity before its repair.
+func (n *NodeView) DRAMFreeAt(t float64) float64 {
+	if n.Down && t < n.UpSeconds {
+		return 0
+	}
+	free := n.DRAMBytes
+	for _, r := range n.Running {
+		if r.EndSeconds > t {
+			free -= r.DRAMBytes
+		}
+	}
+	return free
+}
+
+// fitsAt reports whether ranks cores and dram bytes are both free at
+// time t. A zero dram demand or an unmodeled DRAM capacity skips the
+// DRAM side, so untiered jobs and untiered clusters see exactly the
+// core-only check.
+func (n *NodeView) fitsAt(t float64, ranks int, dram float64) bool {
+	if n.FreeAt(t) < ranks {
+		return false
+	}
+	return dram <= 0 || n.DRAMBytes <= 0 || n.DRAMFreeAt(t) >= dram
 }
 
 // EarliestFit returns the earliest time >= now at which ranks cores are
@@ -152,11 +195,39 @@ func (n *NodeView) EarliestFit(now float64, ranks int) float64 {
 	return best
 }
 
+// earliestFitDemand is EarliestFit with a DRAM demand alongside the
+// core count; it degrades to EarliestFit when the DRAM constraint is
+// inactive, so untiered paths are untouched.
+func (n *NodeView) earliestFitDemand(now float64, ranks int, dram float64) float64 {
+	if dram <= 0 || n.DRAMBytes <= 0 {
+		return n.EarliestFit(now, ranks)
+	}
+	if ranks > n.Cores || dram > n.DRAMBytes {
+		return inf()
+	}
+	if n.Down {
+		if up := n.UpSeconds; up > now {
+			return up
+		}
+		return now
+	}
+	if n.fitsAt(now, ranks, dram) {
+		return now
+	}
+	best := inf()
+	for _, r := range n.Running {
+		if r.EndSeconds > now && r.EndSeconds < best && n.fitsAt(r.EndSeconds, ranks, dram) {
+			best = r.EndSeconds
+		}
+	}
+	return best
+}
+
 // place adds a resident job to the view (used by policies to track
 // their own tentative placements within one scheduling pass, and by
 // the engine to commit them).
-func (n *NodeView) place(jobID, ranks int, end float64, prof JobProfile) {
-	n.Running = append(n.Running, RunningJob{JobID: jobID, Ranks: ranks, EndSeconds: end, Profile: prof})
+func (n *NodeView) place(jobID, ranks int, end float64, dram float64, prof JobProfile) {
+	n.Running = append(n.Running, RunningJob{JobID: jobID, Ranks: ranks, EndSeconds: end, DRAMBytes: dram, Profile: prof})
 }
 
 // remove drops a resident job (completion) and reports whether it was
@@ -251,7 +322,7 @@ func (c *SchedContext) node(id int) *NodeView {
 		return c.Nodes[id]
 	}
 	n := c.Nodes[id]
-	cl := &NodeView{ID: n.ID, Cores: n.Cores, Running: append([]RunningJob(nil), n.Running...),
+	cl := &NodeView{ID: n.ID, Cores: n.Cores, DRAMBytes: n.DRAMBytes, Running: append([]RunningJob(nil), n.Running...),
 		Down: n.Down, UpSeconds: n.UpSeconds}
 	c.Nodes[id] = cl
 	c.owned[id] = true
@@ -325,6 +396,64 @@ func (c *SchedContext) eachFit(ranks, skip int, yield func(n *NodeView) bool) {
 	}
 }
 
+// FitsJob is Fits for a concrete job: identical for untiered jobs, and
+// for jobs whose tier policy holds node DRAM resident it additionally
+// requires the DRAM demand to fit. The free-capacity index knows only
+// cores, so DRAM-demanding jobs always take the linear scan — exact,
+// just not O(1).
+func (c *SchedContext) FitsJob(j Job) int {
+	return c.fitsExceptJob(j, -1)
+}
+
+// fitsExceptJob is FitsJob skipping one node ID; skip < 0 skips
+// nothing.
+func (c *SchedContext) fitsExceptJob(j Job, skip int) int {
+	dram := jobDRAMBytes(j)
+	if dram <= 0 {
+		return c.fitsExcept(j.Workflow.Ranks, skip)
+	}
+	for _, n := range c.Nodes {
+		if n.ID != skip && n.fitsAt(c.Now, j.Workflow.Ranks, dram) {
+			return n.ID
+		}
+	}
+	return -1
+}
+
+// eachFitJob is eachFit for a concrete job, adding the DRAM demand
+// check for tiered jobs.
+func (c *SchedContext) eachFitJob(j Job, skip int, yield func(n *NodeView) bool) {
+	dram := jobDRAMBytes(j)
+	if dram <= 0 {
+		c.eachFit(j.Workflow.Ranks, skip, yield)
+		return
+	}
+	for _, n := range c.Nodes {
+		if n.ID == skip || !n.fitsAt(c.Now, j.Workflow.Ranks, dram) {
+			continue
+		}
+		if !yield(n) {
+			return
+		}
+	}
+}
+
+// EarliestFitJob is EarliestFit for a concrete job, honoring its DRAM
+// demand alongside its core count.
+func (c *SchedContext) EarliestFitJob(j Job) (float64, int) {
+	dram := jobDRAMBytes(j)
+	if dram <= 0 {
+		return c.EarliestFit(j.Workflow.Ranks)
+	}
+	best, bestNode := inf(), -1
+	for _, n := range c.Nodes {
+		if t := n.earliestFitDemand(c.Now, j.Workflow.Ranks, dram); t < best {
+			best, bestNode = t, n.ID
+		}
+	}
+	return best, bestNode
+}
+
 // EarliestFit returns the earliest (time, node) at which ranks cores
 // become free on some node, ties resolved to the lower node ID. When
 // something fits right now the index answers directly; the full scan
@@ -351,7 +480,7 @@ func (c *SchedContext) EarliestFit(ranks int) (float64, int) {
 // snapshot's demand accounting correct across multiple placements in
 // one pass.
 func (c *SchedContext) Place(job Job, node int, cfg core.Config, duration float64, prof JobProfile) Placement {
-	c.node(node).place(job.ID, job.Workflow.Ranks, c.Now+duration, prof)
+	c.node(node).place(job.ID, job.Workflow.Ranks, c.Now+duration, jobDRAMBytes(job), prof)
 	if c.idx != nil {
 		if duration > 0 {
 			c.idx.place(node, job.Workflow.Ranks)
@@ -378,6 +507,11 @@ type Options struct {
 	// node; 0 derives it from the environment's machine (the testbed's
 	// 28).
 	CoresPerSocket int
+	// DRAMBytesPerNode is each node's DRAM capacity available to tiered
+	// jobs. 0 (the default) leaves DRAM unmodeled as a schedulable
+	// resource: tiered jobs place without a capacity check and the
+	// engine's output is byte-identical to the pre-tier semantics.
+	DRAMBytesPerNode float64
 	// SlowdownBoundSeconds is the bounded-slowdown runtime floor tau in
 	// max(1, (wait+run)/max(run, tau)); 0 selects the conventional 10s.
 	SlowdownBoundSeconds float64
@@ -442,6 +576,9 @@ func (o Options) validate() error {
 	}
 	if o.CoresPerSocket < 0 {
 		return fmt.Errorf("cluster: negative cores per socket")
+	}
+	if !(o.DRAMBytesPerNode >= 0) || math.IsInf(o.DRAMBytesPerNode, 0) {
+		return fmt.Errorf("cluster: node DRAM capacity %g must be finite and non-negative", o.DRAMBytesPerNode)
 	}
 	if err := o.Faults.validate(o.Nodes); err != nil {
 		return err

@@ -148,6 +148,9 @@ func Simulate(tr Trace, opt Options) (*Metrics, error) {
 			return nil, fmt.Errorf("cluster: job %d (%s) needs %d ranks but nodes have %d cores per socket",
 				j.ID, j.Workflow.Name, j.Workflow.Ranks, cores)
 		}
+		if err := checkJobDRAM(j, opt.DRAMBytesPerNode); err != nil {
+			return nil, err
+		}
 	}
 	return simulate(&sliceSource{jobs: tr.Jobs}, opt, cores)
 }
@@ -163,7 +166,18 @@ func SimulateStream(src TraceSource, opt Options) (*Metrics, error) {
 		return nil, err
 	}
 	cores := opt.coresPerSocket()
-	return simulate(&checkedSource{src: src, cores: cores}, opt, cores)
+	return simulate(&checkedSource{src: src, cores: cores, dram: opt.DRAMBytesPerNode}, opt, cores)
+}
+
+// checkJobDRAM rejects a job whose tier policy demands more node DRAM
+// than any node has (it could never be placed), mirroring the
+// ranks-per-socket check. Inactive when DRAM is unmodeled (capacity 0).
+func checkJobDRAM(j Job, capacity float64) error {
+	if demand := jobDRAMBytes(j); capacity > 0 && demand > capacity {
+		return fmt.Errorf("cluster: job %d (%s) holds %g DRAM bytes resident but nodes have %g",
+			j.ID, j.Workflow.Name, demand, capacity)
+	}
+	return nil
 }
 
 // sliceSource streams an already-validated in-memory trace.
@@ -187,6 +201,7 @@ func (s *sliceSource) next() (Job, bool, error) {
 type checkedSource struct {
 	src   TraceSource
 	cores int
+	dram  float64
 	id    int
 	prev  float64
 }
@@ -216,6 +231,9 @@ func (c *checkedSource) next() (Job, bool, error) {
 		return Job{}, false, fmt.Errorf("cluster: job %d (%s) needs %d ranks but nodes have %d cores per socket",
 			j.ID, j.Workflow.Name, j.Workflow.Ranks, c.cores)
 	}
+	if err := checkJobDRAM(j, c.dram); err != nil {
+		return Job{}, false, err
+	}
 	c.prev = j.ArrivalSeconds
 	c.id++
 	return j, true, nil
@@ -244,7 +262,7 @@ func simulate(src jobSource, opt Options, cores int) (*Metrics, error) {
 	fleet := opt.Fleet
 	nodes := make([]*NodeView, opt.Nodes)
 	for i := range nodes {
-		nodes[i] = &NodeView{ID: i, Cores: cores}
+		nodes[i] = &NodeView{ID: i, Cores: cores, DRAMBytes: opt.DRAMBytesPerNode}
 	}
 	var idx *freeIndex
 	if !opt.LinearScan {
@@ -453,6 +471,11 @@ func simulate(src jobSource, opt Options, cores int) (*Metrics, error) {
 				return nil, fmt.Errorf("cluster: policy %s overcommitted node %d with job %d (%d ranks, %d cores free)",
 					opt.Policy.Name(), pl.Node, pl.JobID, st.job.Workflow.Ranks, nodes[pl.Node].FreeAt(now))
 			}
+			dram := jobDRAMBytes(st.job)
+			if dram > 0 && nodes[pl.Node].DRAMBytes > 0 && nodes[pl.Node].DRAMFreeAt(now) < dram {
+				return nil, fmt.Errorf("cluster: policy %s overcommitted node %d DRAM with job %d (%g bytes demanded, %g free)",
+					opt.Policy.Name(), pl.Node, pl.JobID, dram, nodes[pl.Node].DRAMFreeAt(now))
+			}
 			dur, err := estimateJob(opt.Estimator, st.job, pl.Config)
 			if err != nil {
 				return nil, fmt.Errorf("cluster: executing job %d (%s): %w", pl.JobID, st.job.Workflow.Name, err)
@@ -481,12 +504,12 @@ func simulate(src jobSource, opt Options, cores int) (*Metrics, error) {
 				st.lastAt = now
 				// rate stays 0: the reflow below rates the newcomer and
 				// posts its first completion event.
-				nodes[pl.Node].place(st.job.ID, st.job.Workflow.Ranks, st.end, prof)
+				nodes[pl.Node].place(st.job.ID, st.job.Workflow.Ranks, st.end, dram, prof)
 				if incremental {
 					dirty.mark(pl.Node, prof.DeviceSocket)
 				}
 			} else {
-				nodes[pl.Node].place(st.job.ID, st.job.Workflow.Ranks, st.end, JobProfile{})
+				nodes[pl.Node].place(st.job.ID, st.job.Workflow.Ranks, st.end, dram, JobProfile{})
 				events.add(event{at: st.end, kind: evComplete, job: st.job.ID, epoch: st.epoch})
 			}
 			if remaining > 0 {
@@ -667,7 +690,7 @@ func kill(st *jobState, retry RetryPolicy, iv Interference, now float64, avoid [
 func snapshot(nodes []*NodeView) []*NodeView {
 	out := make([]*NodeView, len(nodes))
 	for i, n := range nodes {
-		out[i] = &NodeView{ID: n.ID, Cores: n.Cores, Running: append([]RunningJob(nil), n.Running...),
+		out[i] = &NodeView{ID: n.ID, Cores: n.Cores, DRAMBytes: n.DRAMBytes, Running: append([]RunningJob(nil), n.Running...),
 			Down: n.Down, UpSeconds: n.UpSeconds}
 	}
 	return out

@@ -41,6 +41,16 @@ type JobProfile struct {
 	// volume.
 	ReadBytesPerSecond  float64
 	WriteBytesPerSecond float64
+	// DRAMReadBytesPerSecond and DRAMWriteBytesPerSecond are the demand
+	// the job's tier policy routes through socket DRAM instead of PMEM
+	// (zero for pmem-only jobs). They count against the model's DRAM
+	// budgets when those are set and are exempt otherwise.
+	DRAMReadBytesPerSecond  float64
+	DRAMWriteBytesPerSecond float64
+	// MigratedBytes is the one-time tier migration volume (hot-promote's
+	// bulk copy), recorded for observability; it is not folded into the
+	// steady-state demands.
+	MigratedBytes float64
 	// DeviceSocket is the socket whose PMEM holds the job's streaming
 	// channel (0 for LocW placements, 1 for LocR in the canonical
 	// two-socket deployment). Jobs with channels on different sockets
@@ -58,10 +68,58 @@ func ProfileFromResult(wf workflow.Spec, cfg core.Config, res core.Result) JobPr
 		return p
 	}
 	bytes := float64(wf.Simulation.BytesPerRank()) * float64(wf.Ranks) * float64(wf.Iterations)
-	p.WriteBytesPerSecond = bytes / res.TotalSeconds
-	p.ReadBytesPerSecond = bytes / res.TotalSeconds
-	p.IOFraction = clampUnit((res.Writer.IO + res.Reader.IO) / res.TotalSeconds)
+	demand := bytes / res.TotalSeconds
+	p.WriteBytesPerSecond = demand
+	p.ReadBytesPerSecond = demand
+	p.IOFraction = clampUnit((res.Writer.IO + res.Reader.IO + res.Drain.IO) / res.TotalSeconds)
+	if !wf.Tier.Enabled() {
+		return p
+	}
+	switch wf.Tier.Policy {
+	case workflow.TierWriteStageDrain:
+		// Every byte stages into DRAM (writer) and back out (drain
+		// source), while the drain sink and the analytics reads keep the
+		// full PMEM demand: staging adds DRAM traffic, it does not remove
+		// PMEM traffic.
+		p.DRAMWriteBytesPerSecond = demand
+		p.DRAMReadBytesPerSecond = demand
+	case workflow.TierDRAMFirstSpill, workflow.TierHotPromote:
+		frac := tierResidentFraction(wf)
+		if wf.Tier.Policy == workflow.TierHotPromote {
+			frac *= hotFraction(wf)
+			p.MigratedBytes = float64(wf.TierMigratedBytes())
+		}
+		p.DRAMReadBytesPerSecond = frac * demand
+		p.DRAMWriteBytesPerSecond = frac * demand
+		p.ReadBytesPerSecond = (1 - frac) * demand
+		p.WriteBytesPerSecond = (1 - frac) * demand
+	}
 	return p
+}
+
+// tierResidentFraction is the fraction of each snapshot the tier policy
+// keeps DRAM-resident: the policy's per-rank residency (demand over the
+// double-buffer factor and the rank count) over the per-rank volume.
+func tierResidentFraction(wf workflow.Spec) float64 {
+	per := wf.Simulation.BytesPerRank()
+	if per <= 0 || wf.Ranks <= 0 {
+		return 0
+	}
+	resident := float64(wf.TierDRAMBytes()) / (2 * float64(wf.Ranks))
+	return clampUnit(resident / float64(per))
+}
+
+// hotFraction is the fraction of hot-promote's iterations that run
+// after the promotion threshold (zero when promotion never fires).
+func hotFraction(wf workflow.Spec) float64 {
+	after := wf.Tier.PromoteAfterIterations
+	if after == 0 {
+		after = workflow.DefaultTierPromoteAfterIterations
+	}
+	if wf.Iterations <= 0 || after >= wf.Iterations {
+		return 0
+	}
+	return float64(wf.Iterations-after) / float64(wf.Iterations)
 }
 
 // Interference configures the shared-node contention model. The zero
@@ -76,6 +134,13 @@ type Interference struct {
 	// socket proportionally.
 	ReadBandwidthPerSocket  float64
 	WriteBandwidthPerSocket float64
+	// DRAMReadBandwidthPerSocket and DRAMWriteBandwidthPerSocket budget
+	// the demand tiered jobs route through socket DRAM. Zero (the
+	// default) exempts DRAM demand from the model entirely — existing
+	// configurations behave byte-identically — while TieredInterference
+	// sets them from the testbed DDR4 envelope.
+	DRAMReadBandwidthPerSocket  float64
+	DRAMWriteBandwidthPerSocket float64
 }
 
 // DefaultInterference returns the model parameterized by the Gen-1
@@ -101,7 +166,23 @@ func (iv Interference) validate() error {
 		return fmt.Errorf("cluster: interference model needs positive per-socket bandwidth budgets (read %g, write %g)",
 			iv.ReadBandwidthPerSocket, iv.WriteBandwidthPerSocket)
 	}
+	if iv.DRAMReadBandwidthPerSocket < 0 || iv.DRAMWriteBandwidthPerSocket < 0 {
+		return fmt.Errorf("cluster: interference DRAM budgets must be non-negative (read %g, write %g)",
+			iv.DRAMReadBandwidthPerSocket, iv.DRAMWriteBandwidthPerSocket)
+	}
 	return nil
+}
+
+// TieredInterference extends DefaultInterference with DRAM budgets
+// from the testbed's DDR4 envelope, so jobs whose tier policies stage
+// or pin data in socket DRAM contend for it the same way PMEM demand
+// contends for the Optane envelope.
+func TieredInterference() Interference {
+	iv := DefaultInterference()
+	d := pmem.TestbedDDR4()
+	iv.DRAMReadBandwidthPerSocket = d.ReadMax
+	iv.DRAMWriteBandwidthPerSocket = d.WriteMax
+	return iv
 }
 
 // overloadFactor returns how far the socket's combined demand exceeds
@@ -116,6 +197,25 @@ func (iv Interference) overloadFactor(read, write float64) float64 {
 	}
 	if w := write / iv.WriteBandwidthPerSocket; w > f {
 		f = w
+	}
+	return f
+}
+
+// overloadAll is overloadFactor across both tiers: the PMEM envelope
+// plus, when the DRAM budgets are set, the DRAM envelope. A zero DRAM
+// budget exempts that side entirely, so untiered models compute the
+// exact same factor as before.
+func (iv Interference) overloadAll(read, write, dramRead, dramWrite float64) float64 {
+	f := iv.overloadFactor(read, write)
+	if iv.DRAMReadBandwidthPerSocket > 0 {
+		if r := dramRead / iv.DRAMReadBandwidthPerSocket; r > f {
+			f = r
+		}
+	}
+	if iv.DRAMWriteBandwidthPerSocket > 0 {
+		if w := dramWrite / iv.DRAMWriteBandwidthPerSocket; w > f {
+			f = w
+		}
 	}
 	return f
 }
@@ -141,19 +241,34 @@ func (n *NodeView) socketDemand(socket int) (read, write float64) {
 	return read, write
 }
 
+// socketDRAMDemand sums the resident jobs' tier demand on one socket's
+// DRAM.
+func (n *NodeView) socketDRAMDemand(socket int) (read, write float64) {
+	for _, r := range n.Running {
+		if r.Profile.DeviceSocket == socket {
+			read += r.Profile.DRAMReadBytesPerSecond
+			write += r.Profile.DRAMWriteBytesPerSecond
+		}
+	}
+	return read, write
+}
+
 // OverloadAfter returns the overload factor the job's device socket
 // would reach if the job joined the node's residents: the score the
 // interference-aware policies minimize when several nodes fit.
 func (n *NodeView) OverloadAfter(iv Interference, p JobProfile) float64 {
 	read, write := n.socketDemand(p.DeviceSocket)
-	return iv.overloadFactor(read+p.ReadBytesPerSecond, write+p.WriteBytesPerSecond)
+	dread, dwrite := n.socketDRAMDemand(p.DeviceSocket)
+	return iv.overloadAll(read+p.ReadBytesPerSecond, write+p.WriteBytesPerSecond,
+		dread+p.DRAMReadBytesPerSecond, dwrite+p.DRAMWriteBytesPerSecond)
 }
 
 // rateOn returns the current progress rate of a resident profile on the
 // node under the model.
 func (n *NodeView) rateOn(iv Interference, p JobProfile) float64 {
 	read, write := n.socketDemand(p.DeviceSocket)
-	return iv.rate(p, iv.overloadFactor(read, write))
+	dread, dwrite := n.socketDRAMDemand(p.DeviceSocket)
+	return iv.rate(p, iv.overloadAll(read, write, dread, dwrite))
 }
 
 // socketRates returns a per-profile rate function that computes each
@@ -172,7 +287,8 @@ func (n *NodeView) socketRates(iv Interference) func(p JobProfile) float64 {
 		c := &cached[p.DeviceSocket&1]
 		if c.socket != p.DeviceSocket {
 			read, write := n.socketDemand(p.DeviceSocket)
-			c.factor = iv.overloadFactor(read, write)
+			dread, dwrite := n.socketDRAMDemand(p.DeviceSocket)
+			c.factor = iv.overloadAll(read, write, dread, dwrite)
 			c.socket = p.DeviceSocket
 		}
 		return iv.rate(p, c.factor)

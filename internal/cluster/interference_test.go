@@ -213,8 +213,8 @@ func TestEarliestFitAfterMultipleCompletions(t *testing.T) {
 	// The NodeView primitive itself: with residents ending at 6 and 10,
 	// a 6-rank job's earliest fit is 10 (the second completion).
 	n := &NodeView{ID: 0, Cores: 6}
-	n.place(0, 4, 10, JobProfile{})
-	n.place(1, 2, 6, JobProfile{})
+	n.place(0, 4, 10, 0, JobProfile{})
+	n.place(1, 2, 6, 0, JobProfile{})
 	if got := n.EarliestFit(1, 6); got != 10 {
 		t.Errorf("EarliestFit = %g, want 10", got)
 	}

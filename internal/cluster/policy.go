@@ -138,23 +138,22 @@ func (p *listPolicy) profile(ctx *SchedContext, j Job, cfg core.Config) (JobProf
 // through the repair, when the job may still be waiting out its
 // backoff) unless no other node fits. Returns -1 when no node fits.
 func (p *listPolicy) pick(ctx *SchedContext, j Job, prof JobProfile) int {
-	ranks := j.Workflow.Ranks
 	if !p.aware {
-		return ctx.Fits(ranks)
+		return ctx.FitsJob(j)
 	}
 	if !ctx.Model.Enabled {
 		// No interference model: still avoid the failed node, preferring
 		// the lowest-ID alternative, with first fit as the fallback.
 		if away := ctx.AvoidNode(j.ID); away >= 0 {
-			if id := ctx.fitsExcept(ranks, away); id >= 0 {
+			if id := ctx.fitsExceptJob(j, away); id >= 0 {
 				return id
 			}
 		}
-		return ctx.Fits(ranks)
+		return ctx.FitsJob(j)
 	}
 	pickBy := func(skip int) (int, float64) {
 		best, bestScore := -1, inf()
-		ctx.eachFit(ranks, skip, func(n *NodeView) bool {
+		ctx.eachFitJob(j, skip, func(n *NodeView) bool {
 			if score := n.OverloadAfter(ctx.Model, prof); score < bestScore {
 				best, bestScore = n.ID, score
 			}
@@ -213,7 +212,7 @@ func (p *listPolicy) Schedule(ctx *SchedContext) ([]Placement, error) {
 // before the reservation, runs on a different node, or leaves the
 // reserved node with enough cores at the reservation time.
 func (p *listPolicy) backfillBehind(ctx *SchedContext, head Job, rest []Job) ([]Placement, error) {
-	shadow, reserved := ctx.EarliestFit(head.Workflow.Ranks)
+	shadow, reserved := ctx.EarliestFitJob(head)
 	if reserved < 0 {
 		return nil, fmt.Errorf("cluster: %s: job %d (%s) needs %d ranks but no node can ever fit it",
 			p.name, head.ID, head.Workflow.Name, head.Workflow.Ranks)
@@ -238,11 +237,25 @@ func (p *listPolicy) backfillBehind(ctx *SchedContext, head Job, rest []Job) ([]
 		}
 		end := ctx.Now + dur
 		// Would this placement still leave the head's reservation intact?
-		if end > shadow && node == reserved &&
-			ctx.Nodes[reserved].FreeAt(shadow)-j.Workflow.Ranks < head.Workflow.Ranks {
+		if end > shadow && node == reserved && !reservationIntact(ctx.Nodes[reserved], shadow, head, j) {
 			continue
 		}
 		placed = append(placed, ctx.Place(j, node, cfg, dur, prof))
 	}
 	return placed, nil
+}
+
+// reservationIntact reports whether the head's reservation at the
+// shadow time survives the backfill job j still running then on the
+// reserved node: enough cores, and — when the head holds DRAM resident
+// on a DRAM-modeled cluster — enough DRAM too.
+func reservationIntact(n *NodeView, shadow float64, head, j Job) bool {
+	if n.FreeAt(shadow)-j.Workflow.Ranks < head.Workflow.Ranks {
+		return false
+	}
+	hd := jobDRAMBytes(head)
+	if hd <= 0 || n.DRAMBytes <= 0 {
+		return true
+	}
+	return n.DRAMFreeAt(shadow)-jobDRAMBytes(j) >= hd
 }

@@ -444,7 +444,7 @@ func (s *State) pass() ([]Placed, error) {
 		st.start = s.now
 		st.duration = dur
 		st.end = s.now + dur
-		s.nodes[pl.Node].place(st.job.ID, ranks, st.end, JobProfile{})
+		s.nodes[pl.Node].place(st.job.ID, ranks, st.end, jobDRAMBytes(st.job), JobProfile{})
 		if dur > 0 {
 			s.idx.place(pl.Node, ranks)
 		}

@@ -33,6 +33,11 @@ type StageConfig struct {
 	// empty string keeps the runner's base environment. Named stacks
 	// are resolved against DAGOptions.Stacks.
 	Stack string
+	// Tier overrides the stage's declared memory-tier policy for the
+	// edges it produces; the zero value keeps the spec's declaration.
+	// All scalars, so StageConfig stays comparable (the tuner compares
+	// candidates with ==).
+	Tier workflow.TierSpec
 }
 
 // DAGAssignment assigns a StageConfig to every stage, index-aligned
@@ -76,6 +81,11 @@ type DAGOptions struct {
 	// RankChoices are the per-stage rank counts the tuner may try, in
 	// addition to each stage's declared count (choice 0).
 	RankChoices []int
+	// TierChoices are the memory-tier policies the tuner may assign per
+	// stage, in addition to each stage's declared tier (choice 0, the
+	// zero spec). Empty keeps the search space — and hence every
+	// prediction — identical to the pre-tier tuner.
+	TierChoices []workflow.TierSpec
 	// MakespanBudgetSeconds caps the predicted makespan; zero means
 	// unconstrained.
 	MakespanBudgetSeconds float64
@@ -226,6 +236,11 @@ func PredictDAG(rt *Runner, d workflow.DAGSpec, asg DAGAssignment, opt DAGOption
 		if err != nil {
 			return DAGPrediction{}, err
 		}
+		// The producer owns the tier placement of the data it writes, so
+		// a tier override comes from the producing stage's config.
+		if stages[ui].Tier != (workflow.TierSpec{}) {
+			pair.Tier = stages[ui].Tier
+		}
 		cfg := Config{Mode: stages[vi].Mode, Placement: stages[vi].Place}
 		if e.Kind() == workflow.EdgeCommit {
 			cfg.Mode = Serial
@@ -321,7 +336,8 @@ func dagBetter(a, b dagEval, opt DAGOptions) bool {
 
 // candidateConfigs enumerates the per-stage search space in fixed
 // order: rank choices (declared count first) × Table I modes ×
-// placements × stacks (base first).
+// placements × stacks (base first) × tier policies (declared tier
+// first, only when TierChoices is non-empty).
 func candidateConfigs(opt DAGOptions) ([]StageConfig, error) {
 	ranks := []int{0}
 	for _, r := range opt.RankChoices {
@@ -350,12 +366,29 @@ func candidateConfigs(opt DAGOptions) ([]StageConfig, error) {
 		}
 		stacks = append(stacks, ne.Name)
 	}
+	tiers := []workflow.TierSpec{{}}
+	for _, t := range opt.TierChoices {
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("core: tier choice: %w", err)
+		}
+		dup := false
+		for _, seen := range tiers {
+			if seen == t {
+				dup = true
+			}
+		}
+		if !dup {
+			tiers = append(tiers, t)
+		}
+	}
 	var out []StageConfig
 	for _, r := range ranks {
 		for _, m := range []Mode{Serial, Parallel} {
 			for _, p := range []Placement{LocW, LocR} {
 				for _, st := range stacks {
-					out = append(out, StageConfig{Ranks: r, Mode: m, Place: p, Stack: st})
+					for _, t := range tiers {
+						out = append(out, StageConfig{Ranks: r, Mode: m, Place: p, Stack: st, Tier: t})
+					}
 				}
 			}
 		}

@@ -85,6 +85,9 @@ type Result struct {
 	ReaderSplit float64
 	Writer      PhaseBreakdown
 	Reader      PhaseBreakdown
+	// Drain is the per-rank mean breakdown of the background drain
+	// processes under write-stage-drain; zero for every other policy.
+	Drain PhaseBreakdown
 }
 
 // Run executes the workflow under the configuration and returns the
@@ -199,29 +202,54 @@ func RunDeployment(wf workflow.Spec, dep Deployment, env Env, traced bool) (Resu
 	}
 	errs := &workflow.ErrorSink{}
 
+	// Write-stage-drain interposes a per-rank background drain process
+	// between the writer (staging into DRAM) and the PMEM channel.
+	staged := wf.Tier.Enabled() && wf.Tier.Policy == workflow.TierWriteStageDrain
+	var stagedConds []*sim.Cond
+	var drainBarrier *sim.Barrier
+	if staged {
+		stagedConds = make([]*sim.Cond, wf.Ranks)
+		for r := 0; r < wf.Ranks; r++ {
+			stagedConds[r] = k.NewCond(fmt.Sprintf("staged.%d", r))
+		}
+		drainBarrier = sim.NewBarrier("drain.barrier", wf.Ranks)
+	}
+
 	wcfg := workflow.CompileConfig{
-		Component:   wf.Simulation,
-		Ranks:       wf.Ranks,
-		Iterations:  wf.Iterations,
-		Placement:   workflow.Placement{RankSocket: simSocket, DeviceSocket: deviceSocket},
-		Machine:     m,
-		Stack:       st,
-		Channel:     st,
-		StartConds:  startConds,
-		CommitConds: commitConds,
-		Gate:        gate,
-		Barrier:     sim.NewBarrier("sim.barrier", wf.Ranks),
-		Errs:        errs,
+		Component:    wf.Simulation,
+		Ranks:        wf.Ranks,
+		Iterations:   wf.Iterations,
+		Placement:    workflow.Placement{RankSocket: simSocket, DeviceSocket: deviceSocket},
+		Machine:      m,
+		Stack:        st,
+		Channel:      st,
+		StartConds:   startConds,
+		CommitConds:  commitConds,
+		Gate:         gate,
+		Barrier:      sim.NewBarrier("sim.barrier", wf.Ranks),
+		Errs:         errs,
+		Tier:         wf.Tier,
+		StagedConds:  stagedConds,
+		DrainBarrier: drainBarrier,
 	}
 	rcfg := wcfg
 	rcfg.Component = wf.Analytics
 	rcfg.Placement = workflow.Placement{RankSocket: anaSocket, DeviceSocket: deviceSocket}
 	rcfg.Barrier = sim.NewBarrier("ana.barrier", wf.Ranks)
+	rcfg.StagedConds = nil
+	rcfg.DrainBarrier = nil
 
 	writers := make([]*sim.Proc, wf.Ranks)
 	readers := make([]*sim.Proc, wf.Ranks)
+	var drains []*sim.Proc
 	for r := 0; r < wf.Ranks; r++ {
 		writers[r] = k.Spawn(fmt.Sprintf("sim.%d", r), workflow.WriterProgram(wcfg, r))
+	}
+	if staged {
+		drains = make([]*sim.Proc, wf.Ranks)
+		for r := 0; r < wf.Ranks; r++ {
+			drains[r] = k.Spawn(fmt.Sprintf("drain.%d", r), workflow.DrainProgram(wcfg, r))
+		}
 	}
 	for r := 0; r < wf.Ranks; r++ {
 		readers[r] = k.Spawn(fmt.Sprintf("ana.%d", r), workflow.ReaderProgram(rcfg, r))
@@ -254,6 +282,9 @@ func RunDeployment(wf workflow.Spec, dep Deployment, env Env, traced bool) (Resu
 	res.ReaderSplit = total - res.WriterEnd
 	res.Writer = breakdown(writers)
 	res.Reader = breakdown(readers)
+	if len(drains) > 0 {
+		res.Drain = breakdown(drains)
+	}
 	return res, tracer, nil
 }
 

@@ -40,6 +40,9 @@ func (e Env) fingerprint() string {
 		// %v renders every field with round-trip float precision.
 		fmt.Fprintf(h, "pmem%d=%v|", i, d.Model())
 	}
+	for i, d := range m.DRAM {
+		fmt.Fprintf(h, "dram%d=%v|", i, d.Model())
+	}
 	st := e.stack()
 	fmt.Fprintf(h, "stack=%s|", st.Name())
 	for _, size := range stackProbeSizes {
@@ -56,6 +59,16 @@ func writeSpecFingerprint(w hash.Hash, s workflow.Spec) {
 	fmt.Fprintf(w, "wf=%q ranks=%d iters=%d|", s.Name, s.Ranks, s.Iterations)
 	writeComponentFingerprint(w, "sim", s.Simulation)
 	writeComponentFingerprint(w, "ana", s.Analytics)
+	writeTierFingerprint(w, s.Tier)
+}
+
+// writeTierFingerprint serializes every Result-affecting field of a
+// tier spec. Always written — for the zero (pmem-only) spec too — so
+// pre-tier cache keys shift uniformly rather than colliding with a
+// parameterized pmem-only spec.
+func writeTierFingerprint(w hash.Hash, t workflow.TierSpec) {
+	fmt.Fprintf(w, "tier=%d dram=%d drain=%v promote=%d|",
+		t.Policy, t.DRAMBytesPerRank, t.DrainBytesPerSecond, t.PromoteAfterIterations)
 }
 
 func writeComponentFingerprint(w hash.Hash, role string, c workflow.ComponentSpec) {
@@ -73,6 +86,7 @@ func writeDAGSpecFingerprint(w hash.Hash, d workflow.DAGSpec) {
 	for _, s := range d.Stages {
 		fmt.Fprintf(w, "stage=%q ranks=%d ", s.Name, s.Ranks)
 		writeComponentFingerprint(w, "comp", s.Component)
+		writeTierFingerprint(w, s.Tier)
 	}
 	fmt.Fprint(w, "] edges=[")
 	for _, e := range d.Edges {
@@ -87,7 +101,9 @@ func writeDAGSpecFingerprint(w hash.Hash, d workflow.DAGSpec) {
 func writeAssignmentFingerprint(w hash.Hash, a DAGAssignment) {
 	fmt.Fprint(w, "asg=[")
 	for _, sc := range a.Stages {
-		fmt.Fprintf(w, "r=%d m=%d p=%d st=%q,", sc.Ranks, sc.Mode, sc.Place, sc.Stack)
+		fmt.Fprintf(w, "r=%d m=%d p=%d st=%q ", sc.Ranks, sc.Mode, sc.Place, sc.Stack)
+		writeTierFingerprint(w, sc.Tier)
+		fmt.Fprint(w, ",")
 	}
 	fmt.Fprint(w, "]|")
 }

@@ -1,0 +1,348 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"pmemsched/internal/pmem"
+	"pmemsched/internal/units"
+	"pmemsched/internal/workflow"
+	"pmemsched/internal/workloads"
+)
+
+// Differential tests pinning the multi-tier memory model to the
+// paper's baseline: a parameterized-but-disabled tier spec must
+// reproduce every Table I/II number exactly, and the enabled policies
+// must match hand-computed schedules derived from the device curves.
+
+// handSpec builds the 1-rank serial workload the hand computations
+// use: 4 × 64 MiB objects per iteration (large accesses, so none of
+// the small-access device penalties engage), no jitter, a read-only
+// analytics kernel.
+func handSpec(name string, iterations int, compute float64) workflow.Spec {
+	sim := workflow.ComponentSpec{
+		Name:                "hand-writer",
+		ComputePerIteration: compute,
+		Objects:             []workflow.ObjectSpec{{Bytes: 64 * units.MiB, CountPerRank: 4}},
+	}
+	return workflow.Couple(name, sim, workflow.AnalyticsKernel{Name: "readonly"}, 1, iterations)
+}
+
+// handVol is handSpec's per-rank per-iteration snapshot volume.
+const handVol = float64(4 * 64 * units.MiB)
+
+// handDep is the S-LocW deployment the hand computations run under:
+// serial mode, writer local to the channel, so every writer-side PMEM
+// flow is a lone local stream whose rate the device curves give in
+// closed form.
+var handDep = Deployment{Mode: Serial, SimSocket: 0, AnaSocket: 1, DeviceSocket: 0}
+
+func relClose(a, b float64) bool {
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return math.Abs(a-b) <= 1e-9*scale
+}
+
+// TestTierPMEMOnlySuiteByteIdentical pins the off-mode contract: a
+// tier spec with parameters set but policy pmem-only must reproduce
+// every Table I result for all 18 suite workloads exactly — the
+// tiering machinery shifts cache keys but may not perturb a single
+// simulated number.
+func TestTierPMEMOnlySuiteByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite differential in -short mode")
+	}
+	env := DefaultEnv()
+	rt := NewRunner(env, 0)
+	tier := workflow.TierSpec{
+		Policy:                 workflow.TierPMEMOnly,
+		DRAMBytesPerRank:       512 * units.MiB,
+		DrainBytesPerSecond:    1.5 * units.GBps,
+		PromoteAfterIterations: 3,
+	}
+	for _, wf := range workloads.Suite() {
+		base, err := rt.RunAll(wf)
+		if err != nil {
+			t.Fatalf("%s baseline: %v", wf.Name, err)
+		}
+		tiered := wf
+		tiered.Tier = tier
+		got, err := rt.RunAll(tiered)
+		if err != nil {
+			t.Fatalf("%s tiered: %v", wf.Name, err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("%s: pmem-only tier spec perturbed Table I results\nbase=%+v\ngot =%+v", wf.Name, base, got)
+		}
+	}
+}
+
+// TestTierPMEMOnlyTableIIByteIdentical pins the recommendation path:
+// classification and Table II rule lookup are unchanged by a disabled
+// tier spec for all 18 workloads.
+func TestTierPMEMOnlyTableIIByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite differential in -short mode")
+	}
+	env := DefaultEnv()
+	tier := workflow.TierSpec{Policy: workflow.TierPMEMOnly, DRAMBytesPerRank: 1 * units.GiB}
+	for _, wf := range workloads.Suite() {
+		base, err := RecommendWorkflow(wf, env)
+		if err != nil {
+			t.Fatalf("%s baseline: %v", wf.Name, err)
+		}
+		tiered := wf
+		tiered.Tier = tier
+		got, err := RecommendWorkflow(tiered, env)
+		if err != nil {
+			t.Fatalf("%s tiered: %v", wf.Name, err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("%s: pmem-only tier spec perturbed the Table II recommendation\nbase=%+v\ngot =%+v", wf.Name, base, got)
+		}
+	}
+}
+
+// TestTierPoliciesRunEverywhere smokes every enabled policy across
+// modes and placements on a multi-rank workload: no deadlocks, no
+// channel-integrity errors, and each enabled policy actually changes
+// the predicted runtime.
+func TestTierPoliciesRunEverywhere(t *testing.T) {
+	env := DefaultEnv()
+	base := workloads.MicroWorkflow(workloads.MicroObjectLarge, 4)
+	base.Iterations = 3
+	deps := []Deployment{
+		{Mode: Serial, SimSocket: 0, AnaSocket: 1, DeviceSocket: 0},
+		{Mode: Serial, SimSocket: 0, AnaSocket: 1, DeviceSocket: 1},
+		{Mode: Parallel, SimSocket: 0, AnaSocket: 1, DeviceSocket: 0},
+		{Mode: Parallel, SimSocket: 0, AnaSocket: 1, DeviceSocket: 1},
+	}
+	tiers := []workflow.TierSpec{
+		{Policy: workflow.TierDRAMFirstSpill},
+		{Policy: workflow.TierWriteStageDrain},
+		{Policy: workflow.TierHotPromote, PromoteAfterIterations: 1},
+	}
+	for _, dep := range deps {
+		ref, _, err := RunDeployment(base, dep, env, false)
+		if err != nil {
+			t.Fatalf("%s baseline: %v", dep.Label(), err)
+		}
+		for _, tier := range tiers {
+			wf := base
+			wf.Tier = tier
+			res, _, err := RunDeployment(wf, dep, env, false)
+			if err != nil {
+				t.Fatalf("%s %s: %v", dep.Label(), tier.Label(), err)
+			}
+			if res.TotalSeconds <= 0 {
+				t.Errorf("%s %s: non-positive runtime %g", dep.Label(), tier.Label(), res.TotalSeconds)
+			}
+			if res.TotalSeconds == ref.TotalSeconds {
+				t.Errorf("%s %s: runtime identical to pmem-only (%g) — policy had no effect", dep.Label(), tier.Label(), res.TotalSeconds)
+			}
+		}
+	}
+}
+
+// TestWriteStageDrainHandComputedDrainTime checks the drain schedule
+// in closed form: a 1-rank serial workload with a 1 GB/s drain pacer
+// keeps the pacer — far below the lone-stream PMEM write rate
+// (WriteMax/WriteScaleOps = 3.475 GB/s) and every bus on the path —
+// the bottleneck, so each version drains in exactly vol/B seconds and
+// the drain process's total I/O time is N·vol/B.
+func TestWriteStageDrainHandComputedDrainTime(t *testing.T) {
+	const iters = 5
+	const drainB = 1 * units.GBps
+	wf := handSpec("wsd-hand", iters, 0)
+	wf.Tier = workflow.TierSpec{Policy: workflow.TierWriteStageDrain, DrainBytesPerSecond: drainB}
+	res, _, err := RunDeployment(wf, handDep, DefaultEnv(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := iters * handVol / drainB
+	if !relClose(res.Drain.IO, want) {
+		t.Errorf("drain I/O time %.12g s, hand-computed %.12g s", res.Drain.IO, want)
+	}
+	if res.Drain.Compute != 0 || res.Drain.SW != 0 {
+		t.Errorf("drain charged non-I/O work: %+v", res.Drain)
+	}
+}
+
+// TestWriteStageDrainOverlapIdentity checks that drains overlap the
+// writer's compute: when each version's drain (vol/B) fits inside the
+// next iteration's compute phase, only the final version's drain is
+// exposed on the critical path, so slowing the pacer from B to B'
+// lengthens the run by exactly vol·(1/B' − 1/B).
+func TestWriteStageDrainOverlapIdentity(t *testing.T) {
+	const iters = 4
+	const compute = 1.0 // > vol/B' = 0.54 s: every non-final drain hides
+	run := func(drainB float64) Result {
+		wf := handSpec("wsd-overlap", iters, compute)
+		wf.Tier = workflow.TierSpec{Policy: workflow.TierWriteStageDrain, DrainBytesPerSecond: drainB}
+		res, _, err := RunDeployment(wf, handDep, DefaultEnv(), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fast := run(1 * units.GBps)
+	slow := run(0.5 * units.GBps)
+	gotDelta := slow.TotalSeconds - fast.TotalSeconds
+	wantDelta := handVol*(1/(0.5*units.GBps)) - handVol*(1/(1*units.GBps))
+	if !relClose(gotDelta, wantDelta) {
+		t.Errorf("slowing the pacer added %.12g s, hand-computed %.12g s (fast=%g slow=%g)",
+			gotDelta, wantDelta, fast.TotalSeconds, slow.TotalSeconds)
+	}
+}
+
+// TestHotPromoteBreakEven pins hot-promote's schedule algebra on the
+// 1-rank serial workload, where iterations are independent and every
+// flow is a lone stream:
+//
+//   - runtime is affine in the threshold P: each unit of P converts one
+//     DRAM-tier iteration back to a PMEM one, at a constant saving s;
+//   - the one-time migration cost M is the promoted volume over the
+//     lone-stream PMEM read rate, ReadMax/ReadScaleOps;
+//   - the policy beats pmem-only exactly when the remaining hot
+//     iterations repay the migration: s·(N−P) > M;
+//   - a threshold at or past the iteration count degenerates to
+//     pmem-only bit-for-bit.
+func TestHotPromoteBreakEven(t *testing.T) {
+	const iters = 6
+	env := DefaultEnv()
+	base := handSpec("promote-hand", iters, 0.5)
+	baseline, _, err := RunDeployment(base, handDep, env, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(p int) Result {
+		wf := base
+		wf.Tier = workflow.TierSpec{
+			Policy:                 workflow.TierHotPromote,
+			DRAMBytesPerRank:       512 * units.MiB, // > vol: full promotion
+			PromoteAfterIterations: p,
+		}
+		res, _, err := RunDeployment(wf, handDep, env, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	totals := map[int]float64{}
+	for p := 2; p <= iters-1; p++ {
+		totals[p] = run(p).TotalSeconds
+	}
+
+	// Affine in P: successive differences agree.
+	s := totals[3] - totals[2]
+	if s <= 0 {
+		t.Fatalf("per-iteration saving %g must be positive (DRAM tier slower than PMEM?)", -s)
+	}
+	for p := 3; p <= iters-2; p++ {
+		if d := totals[p+1] - totals[p]; !relClose(d, s) {
+			t.Errorf("runtime not affine in threshold: Δ(%d→%d)=%.12g, Δ(2→3)=%.12g", p, p+1, d, s)
+		}
+	}
+
+	// Migration cost from the device curves: a lone local PMEM read
+	// streams at ReadMax/ReadScaleOps (below the per-flow cap).
+	model := pmem.Gen1Optane()
+	wantM := handVol / (model.ReadMax / model.ReadScaleOps)
+	for p := 2; p <= iters-1; p++ {
+		m := totals[p] - baseline.TotalSeconds + s*float64(iters-p)
+		if !relClose(m, wantM) {
+			t.Errorf("P=%d: implied migration cost %.12g s, hand-computed %.12g s", p, m, wantM)
+		}
+	}
+
+	// Break-even: promotion pays exactly when s·(N−P) > M. Under these
+	// curves M/s < 1, so every threshold leaving at least one hot
+	// iteration wins strictly.
+	for p := 2; p <= iters-1; p++ {
+		wins := totals[p] < baseline.TotalSeconds
+		shouldWin := s*float64(iters-p) > wantM
+		if wins != shouldWin {
+			t.Errorf("P=%d: wins=%v but s·(N−P)=%.6g vs M=%.6g", p, wins, s*float64(iters-p), wantM)
+		}
+	}
+
+	// At or past the iteration count the policy degenerates to
+	// pmem-only exactly (the other side of the break-even).
+	for _, p := range []int{iters, iters + 3} {
+		res := run(p)
+		if !reflect.DeepEqual(res, baseline) {
+			t.Errorf("P=%d: degenerate hot-promote differs from pmem-only\nbase=%+v\ngot =%+v", p, baseline, res)
+		}
+	}
+}
+
+// TestDRAMFirstSpillSplitsAtBudget checks the spill policy's split
+// accounting end to end: with a budget strictly inside one population,
+// the run completes (channel sub-object metadata round-trips) and sits
+// strictly between all-PMEM and all-DRAM runtimes.
+func TestDRAMFirstSpillSplitsAtBudget(t *testing.T) {
+	env := DefaultEnv()
+	base := handSpec("spill-hand", 3, 0)
+	baseline, _, err := RunDeployment(base, handDep, env, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(budget int64) Result {
+		wf := base
+		wf.Tier = workflow.TierSpec{Policy: workflow.TierDRAMFirstSpill, DRAMBytesPerRank: budget}
+		res, _, err := RunDeployment(wf, handDep, env, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	full := run(512 * units.MiB)  // whole population in DRAM
+	split := run(130 * units.MiB) // 2 of 4 objects in DRAM, 2 spill
+	if !(full.TotalSeconds < split.TotalSeconds && split.TotalSeconds < baseline.TotalSeconds) {
+		t.Errorf("expected full < split < pmem-only, got %g, %g, %g",
+			full.TotalSeconds, split.TotalSeconds, baseline.TotalSeconds)
+	}
+	// Compositional identity: the split's two sub-phases run one after
+	// the other as lone streams, so the writer's I/O time equals the
+	// sum of two half-volume runs — one all-DRAM, one all-PMEM — with
+	// the same object shape. (The shares themselves are duty-cycle
+	// dependent through the stack cost, but each sub-phase is the same
+	// lone flow in both executions.)
+	half := func(budget int64) Result {
+		sim := workflow.ComponentSpec{
+			Name:    "hand-writer",
+			Objects: []workflow.ObjectSpec{{Bytes: 64 * units.MiB, CountPerRank: 2}},
+		}
+		wf := workflow.Couple("spill-half", sim, workflow.AnalyticsKernel{Name: "readonly"}, 1, 3)
+		if budget > 0 {
+			wf.Tier = workflow.TierSpec{Policy: workflow.TierDRAMFirstSpill, DRAMBytesPerRank: budget}
+		}
+		res, _, err := RunDeployment(wf, handDep, env, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	dramHalf := half(512 * units.MiB)
+	pmemHalf := half(0)
+	if want := dramHalf.Writer.IO + pmemHalf.Writer.IO; !relClose(split.Writer.IO, want) {
+		t.Errorf("split writer I/O %.12g s, want DRAM half + PMEM half = %.12g s", split.Writer.IO, want)
+	}
+}
+
+// sanity anchor for the constants quoted in comments above.
+func TestHandConstants(t *testing.T) {
+	m := pmem.Gen1Optane()
+	if got := m.WriteMax / m.WriteScaleOps; math.Abs(got-3.475*units.GBps) > 1e-3*units.GBps {
+		t.Errorf("lone-stream PMEM write rate %g, comments assume 3.475 GB/s", got)
+	}
+	if handVol != float64(256*units.MiB) {
+		t.Errorf("hand volume %g, want %g", handVol, float64(256*units.MiB))
+	}
+	_ = fmt.Sprintf
+}

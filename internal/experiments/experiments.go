@@ -177,6 +177,7 @@ func All() []Experiment {
 		{"interference", "Cross-job PMEM interference: oblivious vs interference-aware placement (extension)", InterferenceSched},
 		{"faults", "Node failures: retry, backoff and checkpoint-restart on an unreliable cluster (extension)", FaultSched},
 		{"dag", "DAG workflows: per-stage tuning vs best uniform configuration (extension)", DAGTuning},
+		{"tiering", "Multi-tier memory: DRAM-aware placement policies vs Table I (extension)", Tiering},
 	}
 }
 

@@ -1,0 +1,115 @@
+package pmem
+
+import (
+	"testing"
+
+	"pmemsched/internal/sim"
+	"pmemsched/internal/units"
+)
+
+func TestTestbedDDR4Validates(t *testing.T) {
+	if err := TestbedDDR4().Validate(); err != nil {
+		t.Fatalf("testbed DDR4 model invalid: %v", err)
+	}
+}
+
+func TestDRAMModelValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*DRAMModel)
+	}{
+		{"zero read max", func(m *DRAMModel) { m.ReadMax = 0 }},
+		{"negative write max", func(m *DRAMModel) { m.WriteMax = -1 }},
+		{"zero scale ops", func(m *DRAMModel) { m.ScaleOps = 0 }},
+		{"zero per-flow read", func(m *DRAMModel) { m.ReadPerFlowMax = 0 }},
+		{"zero per-flow write", func(m *DRAMModel) { m.WritePerFlowMax = 0 }},
+		{"zero local read latency", func(m *DRAMModel) { m.ReadLatencyLocal = 0 }},
+		{"zero local write latency", func(m *DRAMModel) { m.WriteLatencyLocal = 0 }},
+		{"remote read below local", func(m *DRAMModel) { m.ReadLatencyRemote = m.ReadLatencyLocal / 2 }},
+		{"remote write below local", func(m *DRAMModel) { m.WriteLatencyRemote = m.WriteLatencyLocal / 2 }},
+	}
+	for _, c := range cases {
+		m := TestbedDDR4()
+		c.mut(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken model", c.name)
+		}
+	}
+}
+
+func TestNewDRAMDevicePanicsOnInvalidModel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for invalid dram model")
+		}
+	}()
+	m := TestbedDDR4()
+	m.ReadMax = 0
+	NewDRAMDevice("bad", m)
+}
+
+func TestDRAMLatencySelection(t *testing.T) {
+	m := TestbedDDR4()
+	if m.ReadLatency(false) != m.ReadLatencyLocal || m.ReadLatency(true) != m.ReadLatencyRemote {
+		t.Error("ReadLatency does not select by locality")
+	}
+	if m.WriteLatency(false) != m.WriteLatencyLocal || m.WriteLatency(true) != m.WriteLatencyRemote {
+		t.Error("WriteLatency does not select by locality")
+	}
+	if m.ReadLatencyLocal >= Gen1Optane().ReadLatencyLocal {
+		t.Error("DRAM read latency should undercut Optane's")
+	}
+}
+
+// TestDRAMPortScaling pins the linear concurrency envelope: one weight-1
+// stream sees Max/ScaleOps (below its per-flow cap only if the math says
+// so), and ScaleOps streams reach the full aggregate.
+func TestDRAMPortScaling(t *testing.T) {
+	m := TestbedDDR4()
+	d := NewDRAMDevice("dram0", m)
+	rp := d.ReadPort()
+
+	one := []*sim.Flow{mkFlow(sim.Read, false, 64*units.MiB, 1)}
+	rp.SetFlows(0, one)
+	cap1, pf := rp.Evaluate()
+	if want := m.ReadMax / m.ScaleOps; cap1 != want {
+		t.Fatalf("single-stream aggregate %g, want %g", cap1, want)
+	}
+	if pf != m.ReadPerFlowMax {
+		t.Fatalf("per-flow cap %g, want %g", pf, m.ReadPerFlowMax)
+	}
+
+	many := make([]*sim.Flow, 12)
+	for i := range many {
+		many[i] = mkFlow(sim.Read, false, 64*units.MiB, 1)
+	}
+	rp.SetFlows(0, many)
+	capN, _ := rp.Evaluate()
+	if capN != m.ReadMax {
+		t.Fatalf("saturated aggregate %g, want the envelope %g", capN, m.ReadMax)
+	}
+}
+
+// TestDRAMPortsShareCensus mirrors the PMEM port-coupling test: read
+// streams push the combined census toward the envelope, so the write
+// port's share of it is computed from both populations.
+func TestDRAMPortsShareCensus(t *testing.T) {
+	m := TestbedDDR4()
+	d := NewDRAMDevice("dram0", m)
+	rp, wp := d.ReadPort(), d.WritePort()
+
+	wp.SetFlows(0, []*sim.Flow{mkFlow(sim.Write, false, 64*units.MiB, 1)})
+	alone, _ := wp.Evaluate()
+	if want := m.WriteMax / m.ScaleOps; alone != want {
+		t.Fatalf("lone write aggregate %g, want %g", alone, want)
+	}
+
+	rp.SetFlows(0, []*sim.Flow{
+		mkFlow(sim.Read, false, 64*units.MiB, 1),
+		mkFlow(sim.Read, false, 64*units.MiB, 1),
+	})
+	joined, _ := wp.Evaluate()
+	if want := m.WriteMax * 3 / m.ScaleOps; joined != want {
+		t.Fatalf("write aggregate with read census %g, want %g", joined, want)
+	}
+}

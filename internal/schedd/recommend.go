@@ -287,6 +287,9 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		Features:       featuresWire(res.rec.Features),
 		RuntimeSeconds: res.chosen.TotalSeconds,
 	}
+	if wf.Tier.Enabled() {
+		resp.Tier = wf.Tier.Label()
+	}
 	if req.IncludeRuntimes {
 		for i, cfg := range core.Configs {
 			resp.Runtimes = append(resp.Runtimes, configRuntime{
@@ -306,6 +309,10 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRecommendDAG(w http.ResponseWriter, req recommendRequest) {
 	if req.Name != "" || len(req.Workflow) > 0 {
 		s.replyError(w, http.StatusBadRequest, "schedd: request sets dag next to name or workflow; pick one")
+		return
+	}
+	if len(req.Tier) > 0 {
+		s.replyError(w, http.StatusBadRequest, "schedd: tier applies to plain workflows, not dag requests; declare per-stage tiers in the dag spec")
 		return
 	}
 	d, err := workflow.ReadDAGSpec(bytes.NewReader(req.DAG))

@@ -1,0 +1,152 @@
+package schedd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"pmemsched/internal/workflow"
+	"pmemsched/internal/workloads"
+)
+
+// The tier wire path: an optional "tier" member on /v1/recommend and
+// /v1/jobs requests, echoed back as a label on recommend responses.
+// Requests without it — and requests naming pmem-only explicitly —
+// must produce byte-identical bodies to the pre-tier wire format.
+
+func TestRecommendTierGolden(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	status, body := call(t, ts, "POST", "/v1/recommend",
+		`{"name":"micro-2k","ranks":8,"include_runtimes":true,"tier":{"policy":"dram-first-spill"}}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d, body %s", status, body)
+	}
+	checkGolden(t, "recommend_tier_spill.json", body)
+}
+
+// TestRecommendTierOff pins the compatibility contract: an explicit
+// pmem-only tier is the default, so the response must byte-equal the
+// same request with no tier member at all (no "tier" echo).
+func TestRecommendTierOff(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	status, tiered := call(t, ts, "POST", "/v1/recommend",
+		`{"name":"gtc+readonly","ranks":4,"tier":{"policy":"pmem-only"}}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d, body %s", status, tiered)
+	}
+	status, plain := call(t, ts, "POST", "/v1/recommend", `{"name":"gtc+readonly","ranks":4}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d, body %s", status, plain)
+	}
+	if !bytes.Equal(tiered, plain) {
+		t.Errorf("pmem-only tier changes the response:\ntiered: %s\nplain:  %s", tiered, plain)
+	}
+}
+
+// TestRecommendTierInlineEquivalence: a request-level tier on a
+// catalog name and an inline spec carrying the same tier member must
+// decide identically (modulo the inline path; the bodies are equal
+// because resolve() lands on the same spec).
+func TestRecommendTierInlineEquivalence(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	wf := workloads.GTCReadOnly(4)
+	wf.Tier = workflow.TierSpec{Policy: workflow.TierWriteStageDrain}
+	var spec strings.Builder
+	if err := workflow.WriteSpec(&spec, wf); err != nil {
+		t.Fatalf("WriteSpec: %v", err)
+	}
+	status, inline := call(t, ts, "POST", "/v1/recommend",
+		fmt.Sprintf(`{"workflow":%s}`, spec.String()))
+	if status != http.StatusOK {
+		t.Fatalf("inline: status %d, body %s", status, inline)
+	}
+	status, named := call(t, ts, "POST", "/v1/recommend",
+		`{"name":"gtc+readonly","ranks":4,"tier":{"policy":"write-stage-drain"}}`)
+	if status != http.StatusOK {
+		t.Fatalf("catalog: status %d, body %s", status, named)
+	}
+	if !bytes.Equal(inline, named) {
+		t.Errorf("inline tier and request tier disagree:\ninline: %s\nnamed:  %s", inline, named)
+	}
+	var resp recommendResponse
+	if err := json.Unmarshal(named, &resp); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	if want := wf.Tier.Label(); resp.Tier != want {
+		t.Errorf("tier echo %q, want %q", resp.Tier, want)
+	}
+}
+
+func TestRecommendTierErrors(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	spill := `{"policy":"dram-first-spill"}`
+	var spec strings.Builder
+	wf := workloads.GTCReadOnly(4)
+	wf.Tier = workflow.TierSpec{Policy: workflow.TierHotPromote}
+	if err := workflow.WriteSpec(&spec, wf); err != nil {
+		t.Fatalf("WriteSpec: %v", err)
+	}
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{"unknown policy", `{"name":"micro-2k","tier":{"policy":"l4-cache"}}`, "unknown tier policy"},
+		{"missing policy", `{"name":"micro-2k","tier":{}}`, "unknown tier policy"},
+		{"unknown tier field", `{"name":"micro-2k","tier":{"policy":"hot-promote","pages":4}}`, "decoding tier spec"},
+		{"negative budget", `{"name":"micro-2k","tier":{"policy":"dram-first-spill","dram_bytes_per_rank":-1}}`, "must be non-negative"},
+		{"tier next to dag", `{"dag":{"name":"d"},"tier":` + spill + `}`, "not dag requests"},
+		{"tier twice", fmt.Sprintf(`{"workflow":%s,"tier":%s}`, spec.String(), spill), "declares its own"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body := call(t, ts, "POST", "/v1/recommend", tc.body)
+			if status != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400; body %s", status, body)
+			}
+			var e errorJSON
+			if err := json.Unmarshal(body, &e); err != nil {
+				t.Fatalf("error body is not the uniform shape: %s", body)
+			}
+			if !strings.Contains(e.Error, tc.want) {
+				t.Errorf("error %q does not mention %q", e.Error, tc.want)
+			}
+		})
+	}
+}
+
+// TestSubmitJobTier: tiers ride job submissions into the placement
+// store, and the schedule still runs the job to completion.
+func TestSubmitJobTier(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	status, body := call(t, ts, "POST", "/v1/nodes", `{"count":1}`)
+	if status != http.StatusOK {
+		t.Fatalf("add nodes: status %d, body %s", status, body)
+	}
+	status, body = call(t, ts, "POST", "/v1/jobs",
+		`{"name":"micro-2k","ranks":4,"tier":{"policy":"dram-first-spill"}}`)
+	if status != http.StatusOK {
+		t.Fatalf("submit: status %d, body %s", status, body)
+	}
+	var js jobStatusJSON
+	if err := json.Unmarshal(body, &js); err != nil {
+		t.Fatalf("decoding job status: %v", err)
+	}
+	status, body = call(t, ts, "GET", "/v1/schedule", "")
+	if status != http.StatusOK {
+		t.Fatalf("schedule: status %d, body %s", status, body)
+	}
+	var step stepJSON
+	if err := json.Unmarshal(body, &step); err != nil {
+		t.Fatalf("decoding step: %v", err)
+	}
+	if len(step.Placed) != 1 || step.Placed[0].JobID != js.ID {
+		t.Fatalf("job %d not placed: %s", js.ID, body)
+	}
+	if step.Placed[0].DurationSeconds <= 0 {
+		t.Errorf("placed duration %g, want > 0", step.Placed[0].DurationSeconds)
+	}
+}

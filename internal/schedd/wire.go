@@ -50,6 +50,12 @@ type workflowRef struct {
 	// response is then a per-stage tuned configuration instead of a
 	// Table II cell.
 	DAG json.RawMessage `json:"dag,omitempty"`
+	// Tier is an optional memory-tier spec in the tier JSON schema
+	// ({"policy": "dram-first-spill", ...}), applied to the resolved
+	// workflow. Inline workflow specs may instead declare their own
+	// "tier" member; setting both is rejected rather than silently
+	// preferring one.
+	Tier json.RawMessage `json:"tier,omitempty"`
 }
 
 // resolve turns the reference into a validated spec.
@@ -61,7 +67,11 @@ func (ref workflowRef) resolve() (workflow.Spec, error) {
 		if ref.Name != "" {
 			return workflow.Spec{}, fmt.Errorf("schedd: request sets both name and workflow; pick one")
 		}
-		return workflow.ReadSpec(bytes.NewReader(ref.Workflow))
+		wf, err := workflow.ReadSpec(bytes.NewReader(ref.Workflow))
+		if err != nil {
+			return workflow.Spec{}, err
+		}
+		return ref.applyTier(wf)
 	}
 	if ref.Name == "" {
 		return workflow.Spec{}, fmt.Errorf("schedd: request needs a workload name or an inline workflow spec")
@@ -75,19 +85,39 @@ func (ref workflowRef) resolve() (workflow.Spec, error) {
 	}
 	switch ref.Name {
 	case "micro-64mb":
-		return workloads.MicroWorkflow(workloads.MicroObjectLarge, ranks), nil
+		return ref.applyTier(workloads.MicroWorkflow(workloads.MicroObjectLarge, ranks))
 	case "micro-2k":
-		return workloads.MicroWorkflow(workloads.MicroObjectSmall, ranks), nil
+		return ref.applyTier(workloads.MicroWorkflow(workloads.MicroObjectSmall, ranks))
 	case "gtc+readonly":
-		return workloads.GTCReadOnly(ranks), nil
+		return ref.applyTier(workloads.GTCReadOnly(ranks))
 	case "gtc+matrixmult":
-		return workloads.GTCMatrixMult(ranks), nil
+		return ref.applyTier(workloads.GTCMatrixMult(ranks))
 	case "miniamr+readonly":
-		return workloads.MiniAMRReadOnly(ranks), nil
+		return ref.applyTier(workloads.MiniAMRReadOnly(ranks))
 	case "miniamr+matrixmult":
-		return workloads.MiniAMRMatrixMult(ranks), nil
+		return ref.applyTier(workloads.MiniAMRMatrixMult(ranks))
 	}
 	return workflow.Spec{}, fmt.Errorf("schedd: unknown workload %q (want micro-64mb, micro-2k, gtc+readonly, gtc+matrixmult, miniamr+readonly or miniamr+matrixmult)", ref.Name)
+}
+
+// applyTier overlays the request's tier spec, if any, onto the
+// resolved workflow. A request tier next to an inline workflow that
+// already declares one is a conflict: the two could disagree, and a
+// silent preference either way would make the winning tier depend on
+// which document the operator happened to edit.
+func (ref workflowRef) applyTier(wf workflow.Spec) (workflow.Spec, error) {
+	if len(ref.Tier) == 0 {
+		return wf, nil
+	}
+	if wf.Tier.Enabled() {
+		return workflow.Spec{}, fmt.Errorf("schedd: request sets tier next to a workflow spec that declares its own; pick one")
+	}
+	t, err := workflow.ReadTierSpec(bytes.NewReader(ref.Tier))
+	if err != nil {
+		return workflow.Spec{}, err
+	}
+	wf.Tier = t
+	return wf, nil
 }
 
 // recommendRequest asks for a Table II configuration decision.
@@ -129,11 +159,14 @@ type configRuntime struct {
 // the Table II rule that produced it, the classified features, and the
 // measured runtime under the recommendation.
 type recommendResponse struct {
-	Workflow       string       `json:"workflow"`
-	Ranks          int          `json:"ranks"`
-	Config         string       `json:"config"`
-	Rule           int          `json:"rule"`
-	Illustrative   string       `json:"illustrative,omitempty"`
+	Workflow     string `json:"workflow"`
+	Ranks        int    `json:"ranks"`
+	Config       string `json:"config"`
+	Rule         int    `json:"rule"`
+	Illustrative string `json:"illustrative,omitempty"`
+	// Tier echoes the memory-tier policy the decision ran under, only
+	// when one was requested — pre-tier clients see an unchanged body.
+	Tier           string       `json:"tier,omitempty"`
 	Features       featuresJSON `json:"features"`
 	RuntimeSeconds float64      `json:"runtime_seconds"`
 	// Runtimes lists all four configurations in Table I order when the

@@ -63,6 +63,18 @@ type CompileConfig struct {
 	// Errs collects metadata errors discovered during execution; a
 	// program that hits one terminates early after recording it.
 	Errs *ErrorSink
+	// Tier selects the workflow's memory tiering policy. The zero value
+	// (pmem-only) compiles exactly the pre-tier programs.
+	Tier TierSpec
+	// StagedConds is write-stage-drain's per-rank staging channel: the
+	// writer publishes v on StagedConds[rank] when version v is fully
+	// staged in local DRAM; the rank's drain process waits on it before
+	// copying the version to PMEM. Nil outside write-stage-drain.
+	StagedConds []*sim.Cond
+	// DrainBarrier synchronizes the drain processes after their final
+	// version, so the serial-mode gate opens only once every rank's data
+	// is persisted. Nil outside write-stage-drain.
+	DrainBarrier *sim.Barrier
 }
 
 // ErrorSink accumulates the first few errors raised by compiled
@@ -105,6 +117,7 @@ func (s *ErrorSink) All() []error {
 // access.
 type ioPhase struct {
 	group   int
+	sub     int // sub-phase index when a population splits across tiers
 	count   int
 	bytes   float64 // total payload per iteration
 	objSize int64
@@ -135,49 +148,169 @@ func (ph *ioPhase) transfer() sim.Transfer {
 	}
 }
 
+// buildPhase prepares one population's streaming phase against the
+// given memory tier on the component's device socket.
+func buildPhase(cfg CompileConfig, kind sim.OpKind, pop ObjectSpec, group, sub int, tier platform.MemTier) ioPhase {
+	path, class, latency := cfg.Machine.Path(platform.Access{
+		From:   cfg.Placement.RankSocket,
+		Device: cfg.Placement.DeviceSocket,
+		Kind:   kind,
+		Bytes:  cfg.Stack.AccessSize(pop.Bytes),
+		Tier:   tier,
+	})
+	var sw float64
+	if kind == sim.Write {
+		sw = cfg.Stack.WriteCost(pop.Bytes) + latency
+	} else {
+		sw = cfg.Stack.ReadCost(pop.Bytes) + latency
+		if class.Remote && tier == platform.TierPMEM {
+			// Remote read latency grows with the component's own
+			// effective read concurrency (UPI/iMC queueing). The
+			// estimate uses the component's intrinsic duty cycle:
+			// the fraction of each operation cycle actually spent
+			// on the device at the uncontended per-flow rate. DRAM
+			// reads skip this: the queueing term models the Optane
+			// controller, not the interconnect.
+			m := cfg.Machine.Device(cfg.Placement.DeviceSocket).Model()
+			t := float64(pop.Bytes) / m.ReadPerFlowMax
+			cycle := t + cfg.Stack.ReadCost(pop.Bytes) + cfg.Component.ComputePerObject
+			if cycle > 0 {
+				wEff := float64(cfg.Ranks) * t / cycle
+				sw += m.RemoteReadLatQueue * wEff
+			}
+		}
+	}
+	return ioPhase{
+		group:   group,
+		sub:     sub,
+		count:   pop.CountPerRank,
+		bytes:   float64(pop.Bytes) * float64(pop.CountPerRank),
+		objSize: pop.Bytes,
+		perOpSW: sw,
+		perOpCP: cfg.Component.ComputePerObject,
+		path:    path,
+		class:   class,
+	}
+}
+
 // planPhases prepares the per-iteration I/O phases for the component
-// under the given role and placement.
+// under the given role and placement, all against PMEM — the paper's
+// baseline and the compile target of every pre-tier program.
 func planPhases(cfg CompileConfig, kind sim.OpKind) []ioPhase {
 	var out []ioPhase
 	for g, pop := range cfg.Component.Objects {
-		path, class, latency := cfg.Machine.Path(platform.Access{
-			From:   cfg.Placement.RankSocket,
-			Device: cfg.Placement.DeviceSocket,
-			Kind:   kind,
-			Bytes:  cfg.Stack.AccessSize(pop.Bytes),
-		})
-		var sw float64
-		if kind == sim.Write {
-			sw = cfg.Stack.WriteCost(pop.Bytes) + latency
-		} else {
-			sw = cfg.Stack.ReadCost(pop.Bytes) + latency
-			if class.Remote {
-				// Remote read latency grows with the component's own
-				// effective read concurrency (UPI/iMC queueing). The
-				// estimate uses the component's intrinsic duty cycle:
-				// the fraction of each operation cycle actually spent
-				// on the device at the uncontended per-flow rate.
-				m := cfg.Machine.Device(cfg.Placement.DeviceSocket).Model()
-				t := float64(pop.Bytes) / m.ReadPerFlowMax
-				cycle := t + cfg.Stack.ReadCost(pop.Bytes) + cfg.Component.ComputePerObject
-				if cycle > 0 {
-					wEff := float64(cfg.Ranks) * t / cycle
-					sw += m.RemoteReadLatQueue * wEff
-				}
-			}
-		}
-		out = append(out, ioPhase{
-			group:   g,
-			count:   pop.CountPerRank,
-			bytes:   float64(pop.Bytes) * float64(pop.CountPerRank),
-			objSize: pop.Bytes,
-			perOpSW: sw,
-			perOpCP: cfg.Component.ComputePerObject,
-			path:    path,
-			class:   class,
-		})
+		out = append(out, buildPhase(cfg, kind, pop, g, 0, platform.TierPMEM))
 	}
 	return out
+}
+
+// planSplitPhases prepares phases with populations split between the
+// DRAM tier and PMEM under the tier spec's per-rank budget, in
+// declaration order (the same walk as TierSplit). A population that
+// splits yields a DRAM sub-phase (sub 0) and a PMEM spill sub-phase
+// (sub 1); unsplit populations keep sub 0, so their channel object IDs
+// match the baseline's.
+func planSplitPhases(cfg CompileConfig, kind sim.OpKind) []ioPhase {
+	e := cfg.Tier.withDefaults()
+	remaining := e.DRAMBytesPerRank
+	var out []ioPhase
+	for g, pop := range cfg.Component.Objects {
+		if remaining <= 0 || pop.Bytes <= 0 {
+			out = append(out, buildPhase(cfg, kind, pop, g, 0, platform.TierPMEM))
+			continue
+		}
+		fit := remaining / pop.Bytes
+		switch {
+		case fit >= int64(pop.CountPerRank):
+			out = append(out, buildPhase(cfg, kind, pop, g, 0, platform.TierDRAM))
+			remaining -= pop.Bytes * int64(pop.CountPerRank)
+		case fit > 0:
+			dram := ObjectSpec{Bytes: pop.Bytes, CountPerRank: int(fit)}
+			spill := ObjectSpec{Bytes: pop.Bytes, CountPerRank: pop.CountPerRank - int(fit)}
+			out = append(out, buildPhase(cfg, kind, dram, g, 0, platform.TierDRAM))
+			out = append(out, buildPhase(cfg, kind, spill, g, 1, platform.TierPMEM))
+			remaining = 0
+		default:
+			out = append(out, buildPhase(cfg, kind, pop, g, 0, platform.TierPMEM))
+		}
+	}
+	return out
+}
+
+// planStagePhases prepares write-stage-drain's writer phases: every
+// population lands in the writer socket's own DRAM (always local —
+// staging never crosses the interconnect), to be drained to PMEM by the
+// rank's background drain process.
+func planStagePhases(cfg CompileConfig) []ioPhase {
+	staged := cfg
+	staged.Placement = Placement{RankSocket: cfg.Placement.RankSocket, DeviceSocket: cfg.Placement.RankSocket}
+	var out []ioPhase
+	for g, pop := range cfg.Component.Objects {
+		out = append(out, buildPhase(staged, sim.Write, pop, g, 0, platform.TierDRAM))
+	}
+	return out
+}
+
+// phasePlan is a component's per-iteration phase schedule across the
+// run: cold phases before switchIter, hot phases from it on. Pre-tier
+// programs compile to a cold-only plan identical to the old phase list.
+type phasePlan struct {
+	cold []ioPhase
+	hot  []ioPhase
+	// switchIter is the first iteration executing hot phases
+	// (Iterations+1 when the plan never switches).
+	switchIter int
+	// migrateBytes is hot-promote's one-time per-rank bulk copy out of
+	// PMEM, paid by the writer when iteration switchIter begins. Zero
+	// for every other policy and for readers.
+	migrateBytes float64
+}
+
+// phases returns the phase list governing the given iteration.
+func (pl phasePlan) phases(iter int) []ioPhase {
+	if iter >= pl.switchIter {
+		return pl.hot
+	}
+	return pl.cold
+}
+
+// planTiered builds the component's phase plan under its tier policy.
+func planTiered(cfg CompileConfig, kind sim.OpKind) phasePlan {
+	never := cfg.Iterations + 1
+	if !cfg.Tier.Enabled() {
+		return phasePlan{cold: planPhases(cfg, kind), switchIter: never}
+	}
+	e := cfg.Tier.withDefaults()
+	switch e.Policy {
+	case TierDRAMFirstSpill:
+		return phasePlan{cold: planSplitPhases(cfg, kind), switchIter: never}
+	case TierWriteStageDrain:
+		if kind == sim.Write {
+			return phasePlan{cold: planStagePhases(cfg), switchIter: never}
+		}
+		// Readers consume the drained copy from PMEM: exactly the
+		// baseline phases, gated by the drain's version conds.
+		return phasePlan{cold: planPhases(cfg, kind), switchIter: never}
+	case TierHotPromote:
+		if e.PromoteAfterIterations >= cfg.Iterations {
+			// Promotion would never fire: degenerate to pmem-only.
+			return phasePlan{cold: planPhases(cfg, kind), switchIter: never}
+		}
+		pl := phasePlan{
+			cold:       planPhases(cfg, kind),
+			hot:        planSplitPhases(cfg, kind),
+			switchIter: e.PromoteAfterIterations,
+		}
+		if kind == sim.Write {
+			var perRank int64
+			for _, pop := range cfg.Component.Objects {
+				perRank += pop.Bytes * int64(pop.CountPerRank)
+			}
+			pl.migrateBytes = float64(e.tierResidentPerRank(perRank))
+		}
+		return pl
+	}
+	return phasePlan{cold: planPhases(cfg, kind), switchIter: never}
 }
 
 // jitteredCompute returns the component's per-iteration compute time
@@ -209,25 +342,37 @@ const (
 	phGateWait
 	phVersionWait
 	phCommitWait
+	phStageWait // write-stage-drain: double-buffer backpressure
+	phMigrate   // hot-promote: one-time bulk promotion copy
 )
 
 // WriterProgram compiles the program for one writer (simulation) rank:
 // each iteration computes, streams its snapshot to the channel, commits
 // the version, synchronizes with the other writer ranks, and publishes
-// the version to its paired reader.
+// the version to its paired reader. Under write-stage-drain the rank
+// stages into local DRAM instead and hands commit/publish duties to its
+// drain process (DrainProgram).
 func WriterProgram(cfg CompileConfig, rank int) sim.Program {
-	return &writerProg{cfg: cfg, rank: rank, phases: planPhases(cfg, sim.Write), phase: phIterCompute}
+	return &writerProg{
+		cfg:    cfg,
+		rank:   rank,
+		plan:   planTiered(cfg, sim.Write),
+		staged: cfg.Tier.Enabled() && cfg.Tier.Policy == TierWriteStageDrain,
+		phase:  phIterCompute,
+	}
 }
 
 type writerProg struct {
 	cfg    CompileConfig
 	rank   int
-	phases []ioPhase
+	plan   phasePlan
+	staged bool // write-stage-drain: drain process owns commit/publish
 
-	iter  int // completed iterations
-	pi    int // phase index within iteration
-	phase int
-	fail  bool
+	iter     int // completed iterations
+	pi       int // phase index within iteration
+	phase    int
+	migrated bool // hot-promote: one-time copy already paid
+	fail     bool
 }
 
 func (p *writerProg) Next(k *sim.Kernel) sim.Stage {
@@ -241,7 +386,14 @@ func (p *writerProg) Next(k *sim.Kernel) sim.Stage {
 			if p.iter >= cfg.Iterations {
 				return nil
 			}
-			p.phase = phIO
+			switch {
+			case p.staged:
+				p.phase = phStageWait
+			case p.plan.migrateBytes > 0 && p.iter == p.plan.switchIter && !p.migrated:
+				p.phase = phMigrate
+			default:
+				p.phase = phIO
+			}
 			p.pi = 0
 			if cfg.Component.ComputePerIteration > 0 {
 				return sim.Compute{
@@ -249,13 +401,49 @@ func (p *writerProg) Next(k *sim.Kernel) sim.Stage {
 					Tag:     TagCompute,
 				}
 			}
+		case phStageWait:
+			// Double-buffer backpressure: staging version iter+1 reuses
+			// the DRAM buffer of version iter-1, so that version's drain
+			// must have committed first. The first two versions have free
+			// buffers and pass instantly.
+			p.phase = phIO
+			if cfg.CommitConds != nil && p.iter >= 2 {
+				return sim.Wait{C: cfg.CommitConds[p.rank], Target: int64(p.iter - 1), Tag: TagWait}
+			}
+		case phMigrate:
+			// Hot-promote's one-time migration: bulk-read this rank's
+			// promoted objects out of PMEM (the DRAM fill rides along at
+			// an order of magnitude more bandwidth). One large stream,
+			// charged as I/O.
+			p.migrated = true
+			p.phase = phIO
+			mig := p.plan.migrateBytes
+			path, class, _ := cfg.Machine.Path(platform.Access{
+				From:   cfg.Placement.RankSocket,
+				Device: cfg.Placement.DeviceSocket,
+				Kind:   sim.Read,
+				Bytes:  int64(mig),
+			})
+			return sim.Transfer{Bytes: mig, OpBytes: mig, Path: path, Class: class, Tag: TagIO}
 		case phIO:
-			if p.pi == 0 && cfg.StartConds != nil {
+			phases := p.plan.phases(p.iter)
+			if p.pi == 0 && cfg.StartConds != nil && !p.staged {
 				// Streaming of this version begins: a parallel-mode
-				// reader may start consuming it now.
+				// reader may start consuming it now. (Staged writers
+				// leave this to the drain process — the reader's copy
+				// comes from PMEM, which has nothing yet.)
 				cfg.StartConds[p.rank].Publish(k, int64(p.iter+1))
 			}
-			if p.pi >= len(p.phases) {
+			if p.pi >= len(phases) {
+				if p.staged {
+					// Version fully staged in DRAM: wake the drain
+					// process; it commits once the copy is persisted.
+					if cfg.StagedConds != nil {
+						cfg.StagedConds[p.rank].Publish(k, int64(p.iter+1))
+					}
+					p.phase = phBarrier
+					continue
+				}
 				// Snapshot persisted: commit this rank's version and
 				// release the paired reader's completion gate.
 				if cfg.Channel != nil {
@@ -272,14 +460,14 @@ func (p *writerProg) Next(k *sim.Kernel) sim.Stage {
 				continue
 			}
 			p.phase = phPostIO
-			return p.phases[p.pi].transfer()
+			return phases[p.pi].transfer()
 		case phPostIO:
-			ph := p.phases[p.pi]
+			ph := p.plan.phases(p.iter)[p.pi]
 			// The phase's transfer completed: record it in the channel
-			// metadata (one entry per population per version).
+			// metadata (one entry per population sub-phase per version).
 			if cfg.Channel != nil {
 				if err := cfg.Channel.Append(p.rank, int64(p.iter+1),
-					stack.ObjectID{Group: ph.group, Index: 0}, int64(ph.bytes)); err != nil {
+					stack.ObjectID{Group: ph.group, Index: ph.sub}, int64(ph.bytes)); err != nil {
 					cfg.Errs.Record(err)
 					p.fail = true
 					return nil
@@ -295,7 +483,9 @@ func (p *writerProg) Next(k *sim.Kernel) sim.Stage {
 		case phPublish:
 			// Barrier passed: every writer finished iteration iter+1.
 			p.iter++
-			if p.iter >= cfg.Iterations && cfg.Gate != nil {
+			if p.iter >= cfg.Iterations && cfg.Gate != nil && !p.staged {
+				// Staged writers leave the gate to their drain processes:
+				// "writers done" means the data is actually in PMEM.
 				cfg.Gate.Publish(k, 1)
 			}
 			p.phase = phIterCompute
@@ -310,13 +500,13 @@ func (p *writerProg) Next(k *sim.Kernel) sim.Stage {
 // mode, for the whole simulation to finish), streams the snapshot back
 // in, runs its compute, and synchronizes with the other reader ranks.
 func ReaderProgram(cfg CompileConfig, rank int) sim.Program {
-	return &readerProg{cfg: cfg, rank: rank, phases: planPhases(cfg, sim.Read), phase: phGateWait}
+	return &readerProg{cfg: cfg, rank: rank, plan: planTiered(cfg, sim.Read), phase: phGateWait}
 }
 
 type readerProg struct {
-	cfg    CompileConfig
-	rank   int
-	phases []ioPhase
+	cfg  CompileConfig
+	rank int
+	plan phasePlan
 
 	iter  int
 	pi    int
@@ -346,7 +536,7 @@ func (p *readerProg) Next(k *sim.Kernel) sim.Stage {
 				return sim.Wait{C: cfg.StartConds[p.rank], Target: int64(p.iter + 1), Tag: TagWait}
 			}
 		case phIO:
-			if p.pi >= len(p.phases) {
+			if p.pi >= len(p.plan.phases(p.iter)) {
 				// Completion gate: the version cannot be fully consumed
 				// before the writer has fully produced it (the fluid
 				// overlap above may otherwise run marginally ahead).
@@ -357,9 +547,9 @@ func (p *readerProg) Next(k *sim.Kernel) sim.Stage {
 				continue
 			}
 			p.phase = phPostIO
-			return p.phases[p.pi].transfer()
+			return p.plan.phases(p.iter)[p.pi].transfer()
 		case phPostIO:
-			ph := p.phases[p.pi]
+			ph := p.plan.phases(p.iter)[p.pi]
 			// Validate the fetch against channel metadata once the
 			// stream is consumed and the writer committed... validation
 			// happens in phCommitWait handling below for ordering; here
@@ -373,9 +563,9 @@ func (p *readerProg) Next(k *sim.Kernel) sim.Stage {
 			// cost is part of the software cost already charged; this is
 			// the functional integrity check).
 			if cfg.Channel != nil {
-				for _, ph := range p.phases {
+				for _, ph := range p.plan.phases(p.iter) {
 					got, err := cfg.Channel.Fetch(p.rank, int64(p.iter+1),
-						stack.ObjectID{Group: ph.group, Index: 0})
+						stack.ObjectID{Group: ph.group, Index: ph.sub})
 					if err == nil && got != int64(ph.bytes) {
 						err = fmt.Errorf("workflow: reader rank %d: population %d@%d has %d bytes, want %d",
 							p.rank, ph.group, p.iter+1, got, int64(ph.bytes))
@@ -404,6 +594,114 @@ func (p *readerProg) Next(k *sim.Kernel) sim.Stage {
 			}
 		default:
 			panic(fmt.Sprintf("workflow: reader rank %d in impossible phase %d", p.rank, p.phase))
+		}
+	}
+}
+
+// DrainProgram compiles the background drain process paired with one
+// write-stage-drain writer rank: for each staged version it publishes
+// the version's start (a parallel-mode reader may consume the drain
+// stream as it lands in PMEM), copies the version out of DRAM into the
+// channel's PMEM as one bulk stream paced by the spec's drain
+// bandwidth, then commits. After its final version it synchronizes with
+// the other drains and opens the serial-mode gate — "writers done"
+// means the data is actually persistent.
+func DrainProgram(cfg CompileConfig, rank int) sim.Program {
+	var vol float64
+	for _, pop := range cfg.Component.Objects {
+		vol += float64(pop.Bytes) * float64(pop.CountPerRank)
+	}
+	e := cfg.Tier.withDefaults()
+	// One large stream per version: the path is the channel's ordinary
+	// PMEM write path (crossing the interconnect when the channel is
+	// remote to the writer), plus a private pacing resource capping this
+	// rank's drain at the modeled background-copy bandwidth. Setup
+	// latency is a single op per version and is dropped, which keeps the
+	// drain time an exact vol/bandwidth when the pacer is the
+	// bottleneck.
+	path, class, _ := cfg.Machine.Path(platform.Access{
+		From:   cfg.Placement.RankSocket,
+		Device: cfg.Placement.DeviceSocket,
+		Kind:   sim.Write,
+		Bytes:  int64(vol),
+	})
+	path = append(path, sim.NewFixedResource(fmt.Sprintf("drain.%d", rank), e.DrainBytesPerSecond))
+	return &drainProg{
+		cfg:      cfg,
+		rank:     rank,
+		transfer: sim.Transfer{Bytes: vol, OpBytes: vol, Path: path, Class: class, Tag: TagIO},
+	}
+}
+
+// drain program phases.
+const (
+	dphStagedWait = iota
+	dphDrain
+	dphCommit
+	dphBarrier
+	dphGate
+)
+
+type drainProg struct {
+	cfg      CompileConfig
+	rank     int
+	transfer sim.Transfer
+
+	v     int64 // version currently being drained (1-based)
+	phase int
+	fail  bool
+}
+
+func (p *drainProg) Next(k *sim.Kernel) sim.Stage {
+	if p.fail {
+		return nil
+	}
+	cfg := p.cfg
+	for {
+		switch p.phase {
+		case dphStagedWait:
+			if p.v >= int64(cfg.Iterations) {
+				p.phase = dphBarrier
+				continue
+			}
+			p.v++
+			p.phase = dphDrain
+			if cfg.StagedConds != nil {
+				return sim.Wait{C: cfg.StagedConds[p.rank], Target: p.v, Tag: TagWait}
+			}
+		case dphDrain:
+			// The version is staged: its PMEM copy starts streaming now,
+			// so a parallel-mode reader may begin consuming it.
+			if cfg.StartConds != nil {
+				cfg.StartConds[p.rank].Publish(k, p.v)
+			}
+			p.phase = dphCommit
+			return p.transfer
+		case dphCommit:
+			if cfg.Channel != nil {
+				if err := cfg.Channel.Commit(p.rank, p.v); err != nil {
+					cfg.Errs.Record(err)
+					p.fail = true
+					return nil
+				}
+			}
+			if cfg.CommitConds != nil {
+				cfg.CommitConds[p.rank].Publish(k, p.v)
+			}
+			p.phase = dphStagedWait
+		case dphBarrier:
+			p.phase = dphGate
+			if cfg.DrainBarrier != nil {
+				return sim.Arrive{B: cfg.DrainBarrier, Tag: TagBarrier}
+			}
+		case dphGate:
+			// Publish is monotonic, so every drain publishing 1 is safe.
+			if cfg.Gate != nil {
+				cfg.Gate.Publish(k, 1)
+			}
+			return nil
+		default:
+			panic(fmt.Sprintf("workflow: drain rank %d in impossible phase %d", p.rank, p.phase))
 		}
 	}
 }

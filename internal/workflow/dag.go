@@ -49,6 +49,11 @@ type StageSpec struct {
 	// endpoint's per-rank load rescaled to conserve total bytes and
 	// compute (see scaleComponent).
 	Ranks int
+	// Tier is the stage's multi-tier memory hint, applied to the edges
+	// this stage produces (the producer owns the placement of the data
+	// it writes). The zero value is pmem-only. A tuner may override it
+	// per stage (see core.StageConfig).
+	Tier TierSpec
 }
 
 // EdgeSpec is one directed data edge between two named stages.
@@ -146,6 +151,9 @@ func (d DAGSpec) validateStage(s StageSpec) error {
 	}
 	if d.outDegree(s.Name) > 0 && len(c.Objects) == 0 {
 		return fmt.Errorf("workflow: dag %q: stage %q produces data but declares no objects", d.Name, s.Name)
+	}
+	if err := s.Tier.Validate(); err != nil {
+		return fmt.Errorf("workflow: dag %q: stage %q: %w", d.Name, s.Name, err)
 	}
 	return nil
 }
@@ -355,6 +363,8 @@ func (d DAGSpec) CompileEdge(e EdgeSpec, ranksFrom, ranksTo int) (Spec, error) {
 		Analytics:  ana,
 		Ranks:      w,
 		Iterations: d.Iterations,
+		// The producer owns the tier placement of the data it writes.
+		Tier: u.Tier,
 	}
 	if err := pair.Validate(); err != nil {
 		return Spec{}, fmt.Errorf("workflow: dag %q: edge %s>%s: %w", d.Name, e.From, e.To, err)
@@ -379,7 +389,7 @@ func FromSpec(s Spec) DAGSpec {
 		Name:       s.Name,
 		Iterations: s.Iterations,
 		Stages: []StageSpec{
-			{Name: simName, Component: s.Simulation, Ranks: s.Ranks},
+			{Name: simName, Component: s.Simulation, Ranks: s.Ranks, Tier: s.Tier},
 			{Name: anaName, Component: ana, Ranks: s.Ranks},
 		},
 		Edges: []EdgeSpec{{From: simName, To: anaName, Type: EdgeStream}},

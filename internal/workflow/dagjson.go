@@ -45,6 +45,9 @@ type dagStageJSON struct {
 	ComputePerObject    float64      `json:"compute_per_object,omitempty"`
 	ComputeJitter       float64      `json:"compute_jitter,omitempty"`
 	Objects             []objectJSON `json:"objects,omitempty"`
+	// Tier is the stage's optional multi-tier memory hint; omitted
+	// means pmem-only, keeping pre-tier documents byte-identical.
+	Tier *tierJSON `json:"tier,omitempty"`
 }
 
 type dagEdgeJSON struct {
@@ -75,7 +78,15 @@ func ReadDAGSpec(r io.Reader) (DAGSpec, error) {
 		for _, o := range sj.Objects {
 			c.Objects = append(c.Objects, ObjectSpec{Bytes: o.Bytes, CountPerRank: o.CountPerRank})
 		}
-		d.Stages = append(d.Stages, StageSpec{Name: sj.Name, Component: c, Ranks: sj.Ranks})
+		st := StageSpec{Name: sj.Name, Component: c, Ranks: sj.Ranks}
+		if sj.Tier != nil {
+			t, err := tierFromJSON(*sj.Tier)
+			if err != nil {
+				return DAGSpec{}, fmt.Errorf("workflow: dag stage %q: %w", sj.Name, err)
+			}
+			st.Tier = t
+		}
+		d.Stages = append(d.Stages, st)
 	}
 	for _, ej := range dj.Edges {
 		d.Edges = append(d.Edges, EdgeSpec{From: ej.From, To: ej.To, Type: EdgeType(ej.Type)})
@@ -104,6 +115,10 @@ func WriteDAGSpec(w io.Writer, d DAGSpec) error {
 		}
 		for _, o := range s.Component.Objects {
 			sj.Objects = append(sj.Objects, objectJSON{Bytes: o.Bytes, CountPerRank: o.CountPerRank})
+		}
+		if s.Tier != (TierSpec{}) {
+			tj := tierToJSON(s.Tier)
+			sj.Tier = &tj
 		}
 		dj.Stages = append(dj.Stages, sj)
 	}

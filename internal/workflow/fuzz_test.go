@@ -37,6 +37,24 @@ func FuzzParseSpec(f *testing.F) {
 	f.Add(`{"name": "zero", "ranks": 2, "iterations": 1,
 	  "simulation": {"name": "s", "objects": [{"bytes": 8, "count_per_rank": 0}]},
 	  "analytics": {"name": "a"}}`)
+	// Tier members, valid and rejected: a real policy with parameters, an
+	// unknown policy, a negative DRAM budget, an infinite drain rate.
+	f.Add(`{"name": "t", "ranks": 2, "iterations": 1,
+	  "simulation": {"name": "s", "objects": [{"bytes": 1, "count_per_rank": 1}]},
+	  "analytics": {"name": "a"},
+	  "tier": {"policy": "dram-first-spill", "dram_bytes_per_rank": 1048576}}`)
+	f.Add(`{"name": "t", "ranks": 2, "iterations": 1,
+	  "simulation": {"name": "s", "objects": [{"bytes": 1, "count_per_rank": 1}]},
+	  "analytics": {"name": "a"},
+	  "tier": {"policy": "ramdisk"}}`)
+	f.Add(`{"name": "t", "ranks": 2, "iterations": 1,
+	  "simulation": {"name": "s", "objects": [{"bytes": 1, "count_per_rank": 1}]},
+	  "analytics": {"name": "a"},
+	  "tier": {"policy": "hot-promote", "dram_bytes_per_rank": -7}}`)
+	f.Add(`{"name": "t", "ranks": 2, "iterations": 1,
+	  "simulation": {"name": "s", "objects": [{"bytes": 1, "count_per_rank": 1}]},
+	  "analytics": {"name": "a"},
+	  "tier": {"policy": "write-stage-drain", "drain_bytes_per_second": 1e999}}`)
 	f.Fuzz(func(t *testing.T, doc string) {
 		wf, err := ReadSpec(strings.NewReader(doc))
 		if err != nil {
@@ -59,6 +77,57 @@ func FuzzParseSpec(f *testing.F) {
 		}
 		if !bytes.Equal(first.Bytes(), second.Bytes()) {
 			t.Error("spec round trip is not byte-idempotent")
+		}
+	})
+}
+
+// FuzzReadTierSpec throws arbitrary bytes at the standalone tier-spec
+// parser (the schema behind the schedd wire's "tier" member and the
+// tier objects embedded in workflow and DAG documents). The contract:
+// errors, never panics, on malformed input; anything accepted
+// validates, has non-negative derived demands, and survives a
+// byte-idempotent Write/Read round trip. NaN and Inf cannot appear in
+// JSON numerics, so the interesting rejections are unknown policies,
+// negative sizes, and overflow-to-Inf exponents.
+func FuzzReadTierSpec(f *testing.F) {
+	f.Add(`{}`)
+	f.Add(`{"policy"`)
+	f.Add(`{"policy": "pmem-only"}`)
+	f.Add(`{"policy": "dram-first-spill"}`)
+	f.Add(`{"policy": "dram-first-spill", "dram_bytes_per_rank": 268435456}`)
+	f.Add(`{"policy": "write-stage-drain", "drain_bytes_per_second": 2e9}`)
+	f.Add(`{"policy": "hot-promote", "promote_after_iterations": 3}`)
+	f.Add(`{"policy": "optane-only"}`)
+	f.Add(`{"policy": "dram-first-spill", "dram_bytes_per_rank": -1}`)
+	f.Add(`{"policy": "write-stage-drain", "drain_bytes_per_second": -2e9}`)
+	f.Add(`{"policy": "write-stage-drain", "drain_bytes_per_second": 1e999}`)
+	f.Add(`{"policy": "hot-promote", "promote_after_iterations": -3}`)
+	f.Add(`{"policy": "hot-promote", "pages": 4}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		tier, err := ReadTierSpec(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		if err := tier.Validate(); err != nil {
+			t.Fatalf("ReadTierSpec accepted a tier its own Validate rejects: %v", err)
+		}
+		if d := tier.DRAMDemandBytes(1<<20, 4); d < 0 {
+			t.Fatalf("accepted tier derives negative DRAM demand %d", d)
+		}
+		var first bytes.Buffer
+		if err := WriteTierSpec(&first, tier); err != nil {
+			t.Fatalf("accepted tier does not re-serialize: %v", err)
+		}
+		tier2, err := ReadTierSpec(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("serialized tier does not re-parse: %v", err)
+		}
+		var second bytes.Buffer
+		if err := WriteTierSpec(&second, tier2); err != nil {
+			t.Fatalf("re-parsed tier does not re-serialize: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Error("tier round trip is not byte-idempotent")
 		}
 	})
 }
@@ -92,6 +161,17 @@ func FuzzReadDAGSpec(f *testing.F) {
 	  "edges": [{"from": "a", "to": "a"}, {"from": "a", "to": "b"}]}`)
 	f.Add(`{"name": "jit", "iterations": 1,
 	  "stages": [{"name": "a", "ranks": 1, "compute_jitter": 1.5, "objects": [{"bytes": 1, "count_per_rank": 1}]},
+	             {"name": "b", "ranks": 1}],
+	  "edges": [{"from": "a", "to": "b"}]}`)
+	// Per-stage tier members: one staging stage, one rejected policy.
+	f.Add(`{"name": "tiered", "iterations": 1,
+	  "stages": [{"name": "a", "ranks": 2, "objects": [{"bytes": 64, "count_per_rank": 2}],
+	              "tier": {"policy": "write-stage-drain", "drain_bytes_per_second": 1e9}},
+	             {"name": "b", "ranks": 1}],
+	  "edges": [{"from": "a", "to": "b"}]}`)
+	f.Add(`{"name": "tiered", "iterations": 1,
+	  "stages": [{"name": "a", "ranks": 2, "objects": [{"bytes": 64, "count_per_rank": 2}],
+	              "tier": {"policy": "l2"}},
 	             {"name": "b", "ranks": 1}],
 	  "edges": [{"from": "a", "to": "b"}]}`)
 	f.Fuzz(func(t *testing.T, doc string) {

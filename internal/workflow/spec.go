@@ -108,6 +108,10 @@ type Spec struct {
 	Analytics  ComponentSpec
 	Ranks      int
 	Iterations int
+	// Tier selects the multi-tier memory policy (see TierSpec). The
+	// zero value is pmem-only: the paper's baseline, byte-identical to
+	// specs predating the DRAM tier.
+	Tier TierSpec
 }
 
 // Validate reports whether the workflow spec is well-formed.
@@ -128,7 +132,23 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("workflow %q: analytics snapshot (%s) does not match simulation snapshot (%s)",
 			s.Name, units.FormatBytes(s.Analytics.BytesPerRank()), units.FormatBytes(s.Simulation.BytesPerRank()))
 	}
+	if err := s.Tier.Validate(); err != nil {
+		return fmt.Errorf("workflow %q: %w", s.Name, err)
+	}
 	return nil
+}
+
+// TierDRAMBytes returns the node DRAM the workflow's tier policy holds
+// resident while it runs (zero for pmem-only).
+func (s Spec) TierDRAMBytes() int64 {
+	return s.Tier.DRAMDemandBytes(s.Simulation.BytesPerRank(), s.Ranks)
+}
+
+// TierMigratedBytes returns the one-time bytes the workflow's tier
+// policy migrates between tiers (hot-promote's bulk copy; zero
+// otherwise).
+func (s Spec) TierMigratedBytes() int64 {
+	return s.Tier.MigratedBytes(s.Simulation.BytesPerRank(), s.Ranks, s.Iterations)
 }
 
 // TotalBytes returns the bytes streamed through PMEM over the whole

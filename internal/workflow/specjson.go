@@ -36,6 +36,10 @@ type specJSON struct {
 	Iterations int           `json:"iterations"`
 	Simulation componentJSON `json:"simulation"`
 	Analytics  analyticsJSON `json:"analytics"`
+	// Tier is the optional multi-tier memory policy; omitted means
+	// pmem-only, so pre-tier documents parse and re-serialize
+	// byte-identically.
+	Tier *tierJSON `json:"tier,omitempty"`
 }
 
 type componentJSON struct {
@@ -81,6 +85,13 @@ func ReadSpec(r io.Reader) (Spec, error) {
 		ComputePerObject:    sj.Analytics.ComputePerObject,
 	}, sj.Ranks, sj.Iterations)
 	wf.Analytics.ComputeJitter = sj.Analytics.ComputeJitter
+	if sj.Tier != nil {
+		t, err := tierFromJSON(*sj.Tier)
+		if err != nil {
+			return Spec{}, err
+		}
+		wf.Tier = t
+	}
 	if err := wf.Validate(); err != nil {
 		return Spec{}, err
 	}
@@ -109,6 +120,10 @@ func WriteSpec(w io.Writer, wf Spec) error {
 			ComputePerObject:    wf.Analytics.ComputePerObject,
 			ComputeJitter:       wf.Analytics.ComputeJitter,
 		},
+	}
+	if wf.Tier != (TierSpec{}) {
+		tj := tierToJSON(wf.Tier)
+		sj.Tier = &tj
 	}
 	for _, o := range wf.Simulation.Objects {
 		sj.Simulation.Objects = append(sj.Simulation.Objects, objectJSON{Bytes: o.Bytes, CountPerRank: o.CountPerRank})

@@ -1,0 +1,228 @@
+package workflow
+
+import (
+	"fmt"
+
+	"pmemsched/internal/units"
+)
+
+// Multi-tier memory: a workflow may place part of its snapshot stream
+// in socket DRAM instead of PMEM, under one of four policies. The zero
+// TierSpec is pmem-only — exactly today's behavior — so every existing
+// spec, cache key and golden output is untouched unless a tier policy
+// is explicitly requested.
+
+// TierPolicy selects how a workflow's working set uses the DRAM tier.
+type TierPolicy uint8
+
+const (
+	// TierPMEMOnly is the paper's baseline: every object lives in PMEM.
+	// This is the zero value, so untiered specs behave byte-identically.
+	TierPMEMOnly TierPolicy = iota
+	// TierDRAMFirstSpill fills a per-rank DRAM budget with snapshot
+	// objects in declaration order and spills the remainder to PMEM;
+	// both components access the DRAM-resident part at DRAM speed.
+	TierDRAMFirstSpill
+	// TierWriteStageDrain lands every write in socket-local DRAM and
+	// drains staged versions to PMEM in the background at a modeled
+	// drain bandwidth, overlapping the writer's next compute phase
+	// (double-buffered: the writer stalls only when the drain falls two
+	// versions behind).
+	TierWriteStageDrain
+	// TierHotPromote starts all-PMEM and promotes read-hot objects into
+	// the DRAM budget after a threshold number of iterations, paying a
+	// one-time bulk migration copy.
+	TierHotPromote
+)
+
+// String returns the policy's CLI/JSON name.
+func (p TierPolicy) String() string {
+	switch p {
+	case TierPMEMOnly:
+		return "pmem-only"
+	case TierDRAMFirstSpill:
+		return "dram-first-spill"
+	case TierWriteStageDrain:
+		return "write-stage-drain"
+	case TierHotPromote:
+		return "hot-promote"
+	}
+	return fmt.Sprintf("tier-policy-%d", uint8(p))
+}
+
+// ParseTierPolicy resolves a CLI/JSON policy name.
+func ParseTierPolicy(s string) (TierPolicy, error) {
+	switch s {
+	case "pmem-only":
+		return TierPMEMOnly, nil
+	case "dram-first-spill":
+		return TierDRAMFirstSpill, nil
+	case "write-stage-drain":
+		return TierWriteStageDrain, nil
+	case "hot-promote":
+		return TierHotPromote, nil
+	}
+	return 0, fmt.Errorf("workflow: unknown tier policy %q (want pmem-only, dram-first-spill, write-stage-drain or hot-promote)", s)
+}
+
+// Default tier parameters, substituted for zero fields when a policy
+// that needs them is enabled.
+const (
+	// DefaultTierDRAMBytesPerRank is the per-rank DRAM budget for the
+	// spill and promote policies: a quarter GiB, comfortably inside the
+	// testbed's per-socket DRAM even at 28 ranks.
+	DefaultTierDRAMBytesPerRank = 256 * units.MiB
+	// DefaultTierPromoteAfterIterations is hot-promote's threshold: two
+	// all-PMEM iterations to observe read heat before migrating.
+	DefaultTierPromoteAfterIterations = 2
+	// DefaultTierDrainBytesPerSecond is write-stage-drain's default
+	// modeled per-rank drain bandwidth: a background copier pacing
+	// itself at 2 GB/s so foreground PMEM traffic keeps most of the
+	// device.
+	DefaultTierDrainBytesPerSecond = 2 * units.GBps
+)
+
+// TierSpec selects a tiering policy and its parameters for a workflow.
+// All scalars, so specs stay comparable and hashable; the zero value
+// means pmem-only with no parameters.
+type TierSpec struct {
+	Policy TierPolicy
+	// DRAMBytesPerRank is the per-rank DRAM budget for the spill and
+	// promote policies; 0 selects DefaultTierDRAMBytesPerRank.
+	DRAMBytesPerRank int64
+	// DrainBytesPerSecond is write-stage-drain's modeled per-rank drain
+	// bandwidth; 0 selects DefaultTierDrainBytesPerSecond.
+	DrainBytesPerSecond float64
+	// PromoteAfterIterations is hot-promote's threshold: iterations run
+	// all-PMEM before promotion; 0 selects
+	// DefaultTierPromoteAfterIterations. A threshold at or beyond the
+	// workflow's iteration count degenerates to pmem-only (promotion
+	// never pays off and never happens).
+	PromoteAfterIterations int
+}
+
+// Enabled reports whether the spec engages the DRAM tier at all.
+func (t TierSpec) Enabled() bool { return t.Policy != TierPMEMOnly }
+
+// Validate reports whether the tier spec is well-formed. NaN/Inf and
+// negative sizes are rejected here so they never reach the phase
+// planner or a cache key.
+func (t TierSpec) Validate() error {
+	if t.Policy > TierHotPromote {
+		return fmt.Errorf("workflow: unknown tier policy %d", uint8(t.Policy))
+	}
+	if t.DRAMBytesPerRank < 0 {
+		return fmt.Errorf("workflow: tier dram budget %d bytes/rank must be non-negative", t.DRAMBytesPerRank)
+	}
+	if !finite(t.DrainBytesPerSecond) || t.DrainBytesPerSecond < 0 {
+		return fmt.Errorf("workflow: tier drain bandwidth %g must be finite and non-negative", t.DrainBytesPerSecond)
+	}
+	if t.PromoteAfterIterations < 0 {
+		return fmt.Errorf("workflow: tier promote threshold %d must be non-negative", t.PromoteAfterIterations)
+	}
+	return nil
+}
+
+// withDefaults resolves zero parameters to the package defaults.
+func (t TierSpec) withDefaults() TierSpec {
+	if t.DRAMBytesPerRank == 0 {
+		t.DRAMBytesPerRank = DefaultTierDRAMBytesPerRank
+	}
+	if t.DrainBytesPerSecond == 0 {
+		t.DrainBytesPerSecond = DefaultTierDrainBytesPerSecond
+	}
+	if t.PromoteAfterIterations == 0 {
+		t.PromoteAfterIterations = DefaultTierPromoteAfterIterations
+	}
+	return t
+}
+
+// Label renders the spec for reports and tables: the policy name plus
+// any non-default parameters.
+func (t TierSpec) Label() string {
+	if !t.Enabled() {
+		return TierPMEMOnly.String()
+	}
+	s := t.Policy.String()
+	if t.DRAMBytesPerRank != 0 {
+		s += "[" + units.FormatBytes(t.DRAMBytesPerRank) + "/rank]"
+	}
+	if t.Policy == TierWriteStageDrain && t.DrainBytesPerSecond != 0 {
+		s += "[drain " + units.FormatRate(t.DrainBytesPerSecond) + "]"
+	}
+	if t.Policy == TierHotPromote && t.PromoteAfterIterations != 0 {
+		s += fmt.Sprintf("[after %d]", t.PromoteAfterIterations)
+	}
+	return s
+}
+
+// TierSplit partitions object populations between the DRAM tier and
+// PMEM under a per-rank byte budget: populations are taken in
+// declaration order, splitting one population at object granularity
+// when the budget lands inside it. Deterministic, and the concatenation
+// of the two halves preserves every object of the input.
+func TierSplit(objs []ObjectSpec, budgetBytes int64) (dram, pmemObjs []ObjectSpec) {
+	remaining := budgetBytes
+	for _, o := range objs {
+		if remaining <= 0 || o.Bytes <= 0 {
+			pmemObjs = append(pmemObjs, o)
+			continue
+		}
+		fit := remaining / o.Bytes
+		if fit >= int64(o.CountPerRank) {
+			dram = append(dram, o)
+			remaining -= o.Bytes * int64(o.CountPerRank)
+			continue
+		}
+		if fit > 0 {
+			dram = append(dram, ObjectSpec{Bytes: o.Bytes, CountPerRank: int(fit)})
+			pmemObjs = append(pmemObjs, ObjectSpec{Bytes: o.Bytes, CountPerRank: o.CountPerRank - int(fit)})
+			remaining = 0
+			continue
+		}
+		pmemObjs = append(pmemObjs, o)
+	}
+	return dram, pmemObjs
+}
+
+// tierResidentPerRank returns the per-rank bytes the policy keeps
+// resident in DRAM while the workflow runs: the staged version for
+// write-stage-drain, the budget-limited split for spill and promote.
+func (t TierSpec) tierResidentPerRank(bytesPerRank int64) int64 {
+	e := t.withDefaults()
+	switch e.Policy {
+	case TierWriteStageDrain:
+		return bytesPerRank
+	case TierDRAMFirstSpill, TierHotPromote:
+		if bytesPerRank < e.DRAMBytesPerRank {
+			return bytesPerRank
+		}
+		return e.DRAMBytesPerRank
+	}
+	return 0
+}
+
+// DRAMDemandBytes returns the node DRAM the policy holds resident for a
+// whole job: double-buffered (the version being produced plus the one
+// in flight to its consumer) across all ranks. Zero for pmem-only, so
+// untiered jobs never engage the cluster's DRAM capacity accounting.
+func (t TierSpec) DRAMDemandBytes(bytesPerRank int64, ranks int) int64 {
+	if !t.Enabled() || ranks <= 0 {
+		return 0
+	}
+	return 2 * t.tierResidentPerRank(bytesPerRank) * int64(ranks)
+}
+
+// MigratedBytes returns the one-time bytes hot-promote copies from PMEM
+// into DRAM across all ranks (zero for every other policy, and zero
+// when the threshold is at or past the iteration count, where promotion
+// never fires).
+func (t TierSpec) MigratedBytes(bytesPerRank int64, ranks, iterations int) int64 {
+	if t.Policy != TierHotPromote || ranks <= 0 {
+		return 0
+	}
+	if e := t.withDefaults(); e.PromoteAfterIterations < iterations {
+		return t.tierResidentPerRank(bytesPerRank) * int64(ranks)
+	}
+	return 0
+}

@@ -1,0 +1,75 @@
+package workflow
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The JSON form of a tier spec, embedded in workflow and DAG-stage
+// documents (and usable standalone for the -tier-spec CLI flags):
+//
+//	{
+//	  "policy": "write-stage-drain",
+//	  "drain_bytes_per_second": 2e9
+//	}
+//
+// Omitted parameters select the package defaults; "policy" is
+// mandatory. Sizes are bytes, rates bytes/second.
+type tierJSON struct {
+	Policy                 string  `json:"policy"`
+	DRAMBytesPerRank       int64   `json:"dram_bytes_per_rank,omitempty"`
+	DrainBytesPerSecond    float64 `json:"drain_bytes_per_second,omitempty"`
+	PromoteAfterIterations int     `json:"promote_after_iterations,omitempty"`
+}
+
+// tierFromJSON resolves the decoded form, rejecting unknown policies
+// and out-of-range parameters at parse time.
+func tierFromJSON(tj tierJSON) (TierSpec, error) {
+	pol, err := ParseTierPolicy(tj.Policy)
+	if err != nil {
+		return TierSpec{}, err
+	}
+	t := TierSpec{
+		Policy:                 pol,
+		DRAMBytesPerRank:       tj.DRAMBytesPerRank,
+		DrainBytesPerSecond:    tj.DrainBytesPerSecond,
+		PromoteAfterIterations: tj.PromoteAfterIterations,
+	}
+	if err := t.Validate(); err != nil {
+		return TierSpec{}, err
+	}
+	return t, nil
+}
+
+// tierToJSON is the inverse of tierFromJSON.
+func tierToJSON(t TierSpec) tierJSON {
+	return tierJSON{
+		Policy:                 t.Policy.String(),
+		DRAMBytesPerRank:       t.DRAMBytesPerRank,
+		DrainBytesPerSecond:    t.DrainBytesPerSecond,
+		PromoteAfterIterations: t.PromoteAfterIterations,
+	}
+}
+
+// ReadTierSpec decodes and validates a standalone tier spec from JSON.
+func ReadTierSpec(r io.Reader) (TierSpec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var tj tierJSON
+	if err := dec.Decode(&tj); err != nil {
+		return TierSpec{}, fmt.Errorf("workflow: decoding tier spec: %w", err)
+	}
+	return tierFromJSON(tj)
+}
+
+// WriteTierSpec encodes a tier spec as JSON (the inverse of
+// ReadTierSpec).
+func WriteTierSpec(w io.Writer, t TierSpec) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tierToJSON(t))
+}

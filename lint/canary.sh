@@ -18,7 +18,7 @@ PMEMLINT=${1:?usage: lint/canary.sh /path/to/pmemlint}
 cd "$(dirname "$0")/.."
 
 PLANT=zz_canary_test_plant.go
-trap 'rm -f internal/cluster/$PLANT internal/schedd/$PLANT' EXIT
+trap 'rm -f internal/cluster/$PLANT internal/schedd/$PLANT internal/core/$PLANT' EXIT
 
 fail=0
 
@@ -117,7 +117,42 @@ func zzCanaryErrflow(f *os.File) {
 }
 EOF
 
-# 6. Negative: the daemon measures real request latency, so wallclock
+# 6. An unhashed tier field: a cache key over a tier-shaped struct
+# that samples the policy but drops the DRAM budget. The fingerprint
+# analyzer only patrols internal/core, where the real run keys live.
+plant_in internal/core fingerprint-tier fingerprint <<'EOF'
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"pmemsched/internal/workflow"
+)
+
+type zzCanaryTierKeyInput struct {
+	Policy           workflow.TierPolicy
+	DRAMBytesPerRank int64
+}
+
+func zzCanaryTierKey(t zzCanaryTierKeyInput) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pol=%d", t.Policy)
+	return b.String()
+}
+EOF
+
+# 7. A raw tier drain rate: calibrated tier constants must go through
+# internal/units like every other bandwidth.
+plant unitsafety-tier unitsafety <<'EOF'
+package cluster
+
+var zzCanaryTierDrainBytesPerSecond = 2e9
+
+func zzCanaryTierDrain() float64 { return zzCanaryTierDrainBytesPerSecond }
+EOF
+
+# 8. Negative: the daemon measures real request latency, so wallclock
 # deliberately excludes internal/schedd. time.Now there is legal and
 # must stay legal.
 plant_quiet internal/schedd wallclock-schedd wallclock <<'EOF'
@@ -131,7 +166,7 @@ func zzCanaryWallclock() time.Time {
 EOF
 
 # The tree itself must still be clean after the canaries are removed.
-for dir in internal/cluster internal/schedd; do
+for dir in internal/cluster internal/schedd internal/core; do
   if ! "$PMEMLINT" "./$dir/" > /dev/null 2>&1; then
     echo "canary cleanup: $dir is not clean without the plants" >&2
     fail=1

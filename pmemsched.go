@@ -97,6 +97,49 @@ func ReadWorkflow(r io.Reader) (Workflow, error) { return workflow.ReadSpec(r) }
 // WriteWorkflow encodes a workflow spec as JSON.
 func WriteWorkflow(w io.Writer, wf Workflow) error { return workflow.WriteSpec(w, wf) }
 
+// Multi-tier memory (extension): part of a workflow's working set may
+// live in socket DRAM instead of PMEM, under one of four policies. The
+// zero TierSpec is pmem-only — exactly the paper's model.
+type (
+	// TierSpec selects a memory-tier policy and its parameters for a
+	// workflow (set Workflow.Tier).
+	TierSpec = workflow.TierSpec
+	// TierPolicy is the tier policy enumeration.
+	TierPolicy = workflow.TierPolicy
+	// TierChoice is RecommendTier's output: the winning (policy,
+	// configuration) pair next to the pmem-only baseline.
+	TierChoice = core.TierChoice
+	// TierResult pairs one tier candidate with its Table I results.
+	TierResult = core.TierResult
+)
+
+// The four tier policies.
+const (
+	TierPMEMOnly        = workflow.TierPMEMOnly
+	TierDRAMFirstSpill  = workflow.TierDRAMFirstSpill
+	TierWriteStageDrain = workflow.TierWriteStageDrain
+	TierHotPromote      = workflow.TierHotPromote
+)
+
+// ParseTierPolicy resolves a CLI/JSON tier policy name like
+// "dram-first-spill".
+func ParseTierPolicy(s string) (TierPolicy, error) { return workflow.ParseTierPolicy(s) }
+
+// TierCandidates returns the tier policies RecommendTier explores, in
+// search order (pmem-only first).
+func TierCandidates() []TierSpec { return core.TierCandidates() }
+
+// RecommendTier sweeps every tier candidate over the full Table I
+// configuration space and returns the best combination; ties break
+// toward pmem-only.
+func RecommendTier(rt *Runner, wf Workflow) (TierChoice, error) { return core.RecommendTier(rt, wf) }
+
+// ReadTierSpec decodes and validates a tier spec from JSON.
+func ReadTierSpec(r io.Reader) (TierSpec, error) { return workflow.ReadTierSpec(r) }
+
+// WriteTierSpec encodes a tier spec as JSON.
+func WriteTierSpec(w io.Writer, t TierSpec) error { return workflow.WriteTierSpec(w, t) }
+
 // General DAG workflows (beyond the paper's fixed pair): arbitrary
 // acyclic graphs of stages connected by typed data edges, each edge
 // lowering to the two-component kernel, with per-stage configuration
